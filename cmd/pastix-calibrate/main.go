@@ -1,0 +1,41 @@
+// Command pastix-calibrate measures this host's dense kernels, fits the
+// multi-variable polynomial time models the static scheduler consumes (the
+// paper's "BLAS and communication network time model, automatically
+// calibrated on the target architecture"), and prints the resulting machine
+// profile next to the built-in IBM SP2 profile.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/pastix-go/pastix/internal/cost"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pastix-calibrate: ")
+	quick := flag.Bool("quick", false, "small measurement grid")
+	flag.Parse()
+
+	local, err := cost.CalibrateLocal(*quick)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range []*cost.Machine{local, cost.SP2()} {
+		fmt.Printf("machine %q\n", m.Name)
+		fmt.Printf("  gemm  coef: %v\n", m.Gemm.Coef)
+		fmt.Printf("  trsm  coef: %v\n", m.Trsm.Coef)
+		fmt.Printf("  factor coef: %v\n", m.Factor.Coef)
+		fmt.Printf("  add   coef: %v\n", m.Add.Coef)
+		fmt.Printf("  network: latency %.1fus, bandwidth %.1f MB/s\n",
+			m.Latency*1e6, m.Bandwidth/1e6)
+		fmt.Printf("  sample predictions:\n")
+		for _, sz := range []int{32, 64, 128, 256} {
+			fmt.Printf("    gemm(%3d^3) %.3gs   factor(%3d) %.3gs   trsm(%3d,%3d) %.3gs\n",
+				sz, m.GemmTime(sz, sz, sz), sz, m.FactorTime(sz), 4*sz, sz, m.TrsmTime(4*sz, sz))
+		}
+		fmt.Println()
+	}
+}

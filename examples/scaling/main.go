@@ -1,0 +1,79 @@
+// Scaling study: sweep the processor count on one problem and print the
+// predicted parallel factorization times and speedups from the static
+// schedule — a single-problem slice of the paper's Table 2 — next to the
+// executed wall-clock times on this host's goroutine processors.
+//
+//	go run ./examples/scaling -n 24
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"github.com/pastix-go/pastix"
+)
+
+func main() {
+	log.SetFlags(0)
+	size := flag.Int("n", 20, "3D grid points per side")
+	flag.Parse()
+
+	nx := *size
+	n := nx * nx * nx
+	idx := func(i, j, k int) int { return i + j*nx + k*nx*nx }
+	b := pastix.NewBuilder(n)
+	for k := 0; k < nx; k++ {
+		for j := 0; j < nx; j++ {
+			for i := 0; i < nx; i++ {
+				v := idx(i, j, k)
+				b.Add(v, v, 6.05)
+				if i+1 < nx {
+					b.Add(v, idx(i+1, j, k), -1)
+				}
+				if j+1 < nx {
+					b.Add(v, idx(i, j+1, k), -1)
+				}
+				if k+1 < nx {
+					b.Add(v, idx(i, j, k+1), -1)
+				}
+			}
+		}
+	}
+	a := b.Build()
+	fmt.Printf("3D Poisson %d^3 (n=%d), host has %d cores\n", nx, n, runtime.NumCPU())
+	fmt.Printf("%4s %14s %10s %14s %10s\n", "P", "model time", "model S(P)", "wall time", "wall S(P)")
+
+	var modelBase, wallBase float64
+	for _, p := range []int{1, 2, 4, 8, 16, 32, 64} {
+		an, err := pastix.Analyze(a, pastix.Options{Processors: p})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := an.Stats()
+
+		var wall float64
+		if p <= 2*runtime.NumCPU() {
+			start := time.Now()
+			if _, err := an.Factorize(); err != nil {
+				log.Fatal(err)
+			}
+			wall = time.Since(start).Seconds()
+		}
+
+		if p == 1 {
+			modelBase, wallBase = st.PredictedTime, wall
+		}
+		wallStr, speedStr := "-", "-"
+		if wall > 0 {
+			wallStr = fmt.Sprintf("%.3fs", wall)
+			speedStr = fmt.Sprintf("%.2f", wallBase/wall)
+		}
+		fmt.Printf("%4d %13.3fs %10.2f %14s %10s\n",
+			p, st.PredictedTime, modelBase/st.PredictedTime, wallStr, speedStr)
+	}
+	fmt.Println("model time: replayed static-schedule makespan on the SP2-like profile")
+	fmt.Println("wall time : executed fan-in factorization on goroutine processors (shown up to 2x host cores)")
+}

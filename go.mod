@@ -1,0 +1,3 @@
+module github.com/pastix-go/pastix
+
+go 1.22

@@ -1,0 +1,119 @@
+package pastix
+
+// End-to-end integration: every generated test problem through the full
+// pipeline (ordering → symbolic → schedule → parallel factorization →
+// solve), asserting accuracy and internal consistency. This is the
+// "downstream user" path exercised wholesale.
+
+import (
+	"math"
+	"testing"
+
+	"github.com/pastix-go/pastix/internal/gen"
+)
+
+func TestIntegrationFullSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration suite")
+	}
+	for _, name := range gen.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			prob, err := gen.Generate(name, 0.05)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := prob.A
+			an, err := Analyze(a, Options{Processors: 4, BlockSize: 24, Ratio2D: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := an.Stats()
+			if st.N != a.N || st.ScalarNNZL < int64(a.NNZOffDiag()) {
+				t.Fatalf("stats inconsistent: %+v", st)
+			}
+			f, err := an.Factorize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			xref, b := gen.RHSForSolution(a)
+			// Sequential solve.
+			x, err := an.Solve(f, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range x {
+				if math.Abs(x[i]-xref[i]) > 1e-8 {
+					t.Fatalf("solve error at %d: %g vs %g", i, x[i], xref[i])
+				}
+			}
+			// Parallel solve agrees.
+			xp, err := an.SolveParallel(f, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range x {
+				if math.Abs(xp[i]-x[i]) > 1e-10*(1+math.Abs(x[i])) {
+					t.Fatalf("parallel solve differs at %d", i)
+				}
+			}
+			// Refinement cannot hurt.
+			xr, err := an.SolveRefined(f, b, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if Residual(a, xr, b) > Residual(a, x, b)*1.001 {
+				t.Fatal("refinement worsened residual")
+			}
+			// Block solve with 3 right-hand sides.
+			n := a.N
+			panel := make([]float64, n*3)
+			copy(panel, b)
+			copy(panel[n:], b)
+			copy(panel[2*n:], b)
+			xs, err := an.SolveMany(f, panel, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r := 0; r < 3; r++ {
+				for i := 0; i < n; i++ {
+					if math.Abs(xs[i+r*n]-x[i]) > 1e-10*(1+math.Abs(x[i])) {
+						t.Fatalf("rhs %d differs at %d", r, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestIntegrationOrderingMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration suite")
+	}
+	// All four orderings × a couple of processor counts on one problem.
+	prob, err := gen.Generate("OILPAN", 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b := gen.RHSForSolution(prob.A)
+	for _, m := range []OrderingMethod{OrderScotchLike, OrderMetisLike, OrderAMD} {
+		for _, p := range []int{1, 4} {
+			an, err := Analyze(prob.A, Options{Processors: p, Ordering: m, CompressGraph: m == OrderScotchLike})
+			if err != nil {
+				t.Fatalf("m=%d p=%d: %v", m, p, err)
+			}
+			f, err := an.Factorize()
+			if err != nil {
+				t.Fatalf("m=%d p=%d: %v", m, p, err)
+			}
+			x, err := an.Solve(f, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r := Residual(prob.A, x, b); r > 1e-12 {
+				t.Fatalf("m=%d p=%d: residual %g", m, p, r)
+			}
+		}
+	}
+}

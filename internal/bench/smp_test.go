@@ -1,0 +1,19 @@
+package bench
+
+import "testing"
+
+func TestSMPAwareSchedulingHelps(t *testing.T) {
+	aware, flat, err := SMPAblate("BMWCRA1", 0.1, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aware <= 0 || flat <= 0 {
+		t.Fatal("missing results")
+	}
+	// Topology-aware scheduling must not be (much) worse than flat; it is
+	// usually better because AUB routes stay on-node.
+	if aware > flat*1.05 {
+		t.Fatalf("SMP-aware schedule (%g) worse than flat (%g)", aware, flat)
+	}
+	t.Logf("aware=%gs flat=%gs gain=%.1f%%", aware, flat, 100*(flat-aware)/flat)
+}

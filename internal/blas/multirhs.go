@@ -1,0 +1,50 @@
+package blas
+
+// Kernels for solving with blocks of right-hand sides (X and B are n×nrhs
+// column-major panels). These give the solve phase BLAS3 shape when many
+// right-hand sides are solved at once.
+
+// TrsmLeftLowerUnit solves L·X = B in place: L n×n unit lower (ldl),
+// B n×nrhs (ldb).
+func TrsmLeftLowerUnit(n, nrhs int, l []float64, ldl int, b []float64, ldb int) {
+	for r := 0; r < nrhs; r++ {
+		TrsvLowerUnit(n, l, ldl, b[r*ldb:r*ldb+n])
+	}
+}
+
+// TrsmLeftLTransUnit solves Lᵀ·X = B in place.
+func TrsmLeftLTransUnit(n, nrhs int, l []float64, ldl int, b []float64, ldb int) {
+	for r := 0; r < nrhs; r++ {
+		TrsvLowerTransUnit(n, l, ldl, b[r*ldb:r*ldb+n])
+	}
+}
+
+// GemmNN computes C -= A·B with A m×k (lda), B k×n (ldb), C m×n (ldc).
+func GemmNN(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	for j := 0; j < n; j++ {
+		cj := c[j*ldc : j*ldc+m]
+		bj := b[j*ldb : j*ldb+k]
+		for l := 0; l < k; l++ {
+			if bj[l] == 0 {
+				continue
+			}
+			axpy(-bj[l], a[l*lda:l*lda+m], cj)
+		}
+	}
+}
+
+// GemmTN computes C -= Aᵀ·B with A k×m (lda), B k×n (ldb), C m×n (ldc).
+func GemmTN(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	for j := 0; j < n; j++ {
+		cj := c[j*ldc : j*ldc+m]
+		bj := b[j*ldb : j*ldb+k]
+		for i := 0; i < m; i++ {
+			ai := a[i*lda : i*lda+k]
+			s := 0.0
+			for l := 0; l < k; l++ {
+				s += ai[l] * bj[l]
+			}
+			cj[i] -= s
+		}
+	}
+}

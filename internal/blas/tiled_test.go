@@ -1,0 +1,84 @@
+package blas
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGemmNDTTiledMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 12; trial++ {
+		m := 1 + rng.Intn(300)
+		n := 1 + rng.Intn(150)
+		k := 1 + rng.Intn(80)
+		lda, ldb, ldc := m+rng.Intn(4), n+rng.Intn(4), m+rng.Intn(4)
+		a := randMat(rng, m, k, lda)
+		b := randMat(rng, n, k, ldb)
+		d := make([]float64, k)
+		for i := range d {
+			d[i] = rng.NormFloat64()
+		}
+		c1 := randMat(rng, m, n, ldc)
+		c2 := append([]float64(nil), c1...)
+		GemmNDT(m, n, k, a, lda, d, b, ldb, c1, ldc)
+		gemmNDTTiled(m, n, k, a, lda, d, b, ldb, c2, ldc)
+		for i := range c1 {
+			if math.Abs(c1[i]-c2[i]) > 1e-11*(1+math.Abs(c1[i])) {
+				t.Fatalf("trial %d (m=%d n=%d k=%d): elem %d differs", trial, m, n, k, i)
+			}
+		}
+		c3 := append([]float64(nil), c2...)
+		_ = c3
+	}
+}
+
+func TestGemmNDTAutoDispatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	// Exercise both sides of the threshold.
+	for _, dims := range [][3]int{{8, 8, 8}, {128, 96, 64}} {
+		m, n, k := dims[0], dims[1], dims[2]
+		a := randMat(rng, m, k, m)
+		b := randMat(rng, n, k, n)
+		d := make([]float64, k)
+		for i := range d {
+			d[i] = 1 + rng.Float64()
+		}
+		c1 := randMat(rng, m, n, m)
+		c2 := append([]float64(nil), c1...)
+		GemmNDT(m, n, k, a, m, d, b, n, c1, m)
+		GemmNDTAuto(m, n, k, a, m, d, b, n, c2, m)
+		for i := range c1 {
+			if math.Abs(c1[i]-c2[i]) > 1e-11*(1+math.Abs(c1[i])) {
+				t.Fatalf("dims %v: dispatch result differs", dims)
+			}
+		}
+	}
+}
+
+func BenchmarkGemmTiled(b *testing.B) {
+	for _, sz := range []int{64, 128, 256} {
+		a := make([]float64, sz*sz)
+		bb := make([]float64, sz*sz)
+		c := make([]float64, sz*sz)
+		d := make([]float64, sz)
+		for i := range a {
+			a[i] = 1
+			bb[i] = 1
+		}
+		for i := range d {
+			d[i] = 1
+		}
+		b.Run(fmt.Sprintf("plain/n%d", sz), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				GemmNDT(sz, sz, sz, a, sz, d, bb, sz, c, sz)
+			}
+		})
+		b.Run(fmt.Sprintf("tiled/n%d", sz), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				gemmNDTTiled(sz, sz, sz, a, sz, d, bb, sz, c, sz)
+			}
+		})
+	}
+}

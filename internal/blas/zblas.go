@@ -1,0 +1,158 @@
+package blas
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// Complex kernels (z-variants). The paper's motivation for LDLᵀ over LLᵀ is
+// solving sparse systems with COMPLEX SYMMETRIC (not Hermitian) coefficients
+// — electromagnetics-style matrices where A = Aᵀ but A ≠ Aᴴ. All transposes
+// here are therefore plain transposes without conjugation, and the
+// factorization is A = L·D·Lᵀ with unit-lower complex L and complex
+// diagonal D, no pivoting.
+
+// ZGemmNDT computes C -= A·diag(d)·Bᵀ over complex column-major matrices.
+func ZGemmNDT(m, n, k int, a []complex128, lda int, d []complex128, b []complex128, ldb int, c []complex128, ldc int) {
+	if m == 0 || n == 0 || k == 0 {
+		return
+	}
+	for j := 0; j < n; j++ {
+		cj := c[j*ldc : j*ldc+m]
+		for l := 0; l < k; l++ {
+			s := d[l] * b[j+l*ldb]
+			if s == 0 {
+				continue
+			}
+			zaxpy(-s, a[l*lda:l*lda+m], cj)
+		}
+	}
+}
+
+// ZSyrkLowerNDT computes the lower triangle of C -= A·diag(d)·Aᵀ.
+func ZSyrkLowerNDT(m, k int, a []complex128, lda int, d []complex128, c []complex128, ldc int) {
+	for j := 0; j < m; j++ {
+		cj := c[j*ldc : j*ldc+m]
+		for l := 0; l < k; l++ {
+			s := d[l] * a[j+l*lda]
+			if s == 0 {
+				continue
+			}
+			zaxpy(-s, a[l*lda+j:l*lda+m], cj[j:])
+		}
+	}
+}
+
+func zaxpy(alpha complex128, x, y []complex128) {
+	n := len(y)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		y[i] += alpha * x[i]
+		y[i+1] += alpha * x[i+1]
+		y[i+2] += alpha * x[i+2]
+		y[i+3] += alpha * x[i+3]
+	}
+	for ; i < n; i++ {
+		y[i] += alpha * x[i]
+	}
+}
+
+// ZLDLT factors the n×n complex symmetric matrix A (lower triangle,
+// column-major, ld) in place into L·D·Lᵀ without pivoting.
+func ZLDLT(n int, a []complex128, ld int) error {
+	for k := 0; k < n; k++ {
+		dk := a[k+k*ld]
+		if dk == 0 || cmplx.IsNaN(dk) {
+			return fmt.Errorf("blas: zldlt pivot %d is zero", k)
+		}
+		col := a[k*ld : k*ld+n]
+		inv := 1 / dk
+		for j := k + 1; j < n; j++ {
+			wjk := col[j]
+			if wjk == 0 {
+				continue
+			}
+			ljk := wjk * inv
+			zaxpy(-ljk, col[j:n], a[j*ld+j:j*ld+n])
+		}
+		for i := k + 1; i < n; i++ {
+			col[i] *= inv
+		}
+	}
+	return nil
+}
+
+// ZTrsmRightLTransUnit solves X·Lᵀ = B in place for X, with L n×n
+// unit-lower complex and B m×n (ldb).
+func ZTrsmRightLTransUnit(m, n int, l []complex128, ldl int, b []complex128, ldb int) {
+	for j := 0; j < n; j++ {
+		bj := b[j*ldb : j*ldb+m]
+		for k := 0; k < j; k++ {
+			ljk := l[j+k*ldl]
+			if ljk == 0 {
+				continue
+			}
+			zaxpy(-ljk, b[k*ldb:k*ldb+m], bj)
+		}
+	}
+}
+
+// ZScaleColumns divides column j of B (m×n, ldb) by d[j].
+func ZScaleColumns(m, n int, b []complex128, ldb int, d []complex128) {
+	for j := 0; j < n; j++ {
+		inv := 1 / d[j]
+		bj := b[j*ldb : j*ldb+m]
+		for i := range bj {
+			bj[i] *= inv
+		}
+	}
+}
+
+// ZTrsvLowerUnit solves L·x = b in place, unit lower complex L.
+func ZTrsvLowerUnit(n int, l []complex128, ld int, x []complex128) {
+	for j := 0; j < n; j++ {
+		xj := x[j]
+		if xj == 0 {
+			continue
+		}
+		col := l[j*ld : j*ld+n]
+		for i := j + 1; i < n; i++ {
+			x[i] -= col[i] * xj
+		}
+	}
+}
+
+// ZTrsvLowerTransUnit solves Lᵀ·x = b in place, unit lower complex L.
+func ZTrsvLowerTransUnit(n int, l []complex128, ld int, x []complex128) {
+	for j := n - 1; j >= 0; j-- {
+		s := x[j]
+		col := l[j*ld : j*ld+n]
+		for i := j + 1; i < n; i++ {
+			s -= col[i] * x[i]
+		}
+		x[j] = s
+	}
+}
+
+// ZGemvN computes y -= A·x, complex A m×n (lda).
+func ZGemvN(m, n int, a []complex128, lda int, x, y []complex128) {
+	for j := 0; j < n; j++ {
+		xj := x[j]
+		if xj == 0 {
+			continue
+		}
+		zaxpy(-xj, a[j*lda:j*lda+m], y)
+	}
+}
+
+// ZGemvT computes y -= Aᵀ·x (plain transpose), x length m, y length n.
+func ZGemvT(m, n int, a []complex128, lda int, x, y []complex128) {
+	for j := 0; j < n; j++ {
+		col := a[j*lda : j*lda+m]
+		var s complex128
+		for i := 0; i < m; i++ {
+			s += col[i] * x[i]
+		}
+		y[j] -= s
+	}
+}

@@ -1,0 +1,138 @@
+package gen
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWeightDeterministicSymmetric(t *testing.T) {
+	if weight(3, 7) != weight(7, 3) {
+		t.Fatal("weight not symmetric")
+	}
+	if weight(3, 7) != weight(3, 7) {
+		t.Fatal("weight not deterministic")
+	}
+	for i := 0; i < 100; i++ {
+		w := weight(i, i+1)
+		if w <= 0.25 || w > 1.0 {
+			t.Fatalf("weight out of range: %g", w)
+		}
+	}
+}
+
+func TestFromGraphDiagonallyDominant(t *testing.T) {
+	for _, name := range Names() {
+		p, err := Generate(name, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := p.A
+		if err := a.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Strict diagonal dominance of every row of the full matrix.
+		rowAbs := make([]float64, a.N)
+		diag := make([]float64, a.N)
+		for j := 0; j < a.N; j++ {
+			for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+				i := a.RowIdx[p]
+				if i == j {
+					diag[j] = a.Val[p]
+				} else {
+					rowAbs[i] += math.Abs(a.Val[p])
+					rowAbs[j] += math.Abs(a.Val[p])
+				}
+			}
+		}
+		for i := 0; i < a.N; i++ {
+			if diag[i] <= rowAbs[i] {
+				t.Fatalf("%s: row %d not strictly dominant (%g <= %g)", name, i, diag[i], rowAbs[i])
+			}
+		}
+	}
+}
+
+func TestGenerateUnknownName(t *testing.T) {
+	if _, err := Generate("NOPE", 1); err == nil {
+		t.Fatal("expected error for unknown problem")
+	}
+	if _, err := Generate("THREAD", -1); err == nil {
+		t.Fatal("expected error for bad scale")
+	}
+}
+
+func TestGenerateScaleChangesSize(t *testing.T) {
+	small, err := Generate("QUER", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Generate("QUER", 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.A.N <= small.A.N {
+		t.Fatalf("scale ineffective: %d vs %d", small.A.N, big.A.N)
+	}
+	// Shell with 3 dof: N must be divisible by dof.
+	if small.A.N%3 != 0 {
+		t.Fatalf("QUER n=%d not divisible by dof", small.A.N)
+	}
+}
+
+func TestNamesStable(t *testing.T) {
+	names := Names()
+	if len(names) != 10 {
+		t.Fatalf("want 10 problems, got %d", len(names))
+	}
+	want := []string{"B5TUER", "BMWCRA1", "MT1", "OILPAN", "QUER",
+		"SHIP001", "SHIP003", "SHIPSEC8", "THREAD", "X104"}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("names[%d]=%s want %s", i, names[i], n)
+		}
+	}
+}
+
+func TestLaplacianGenerators(t *testing.T) {
+	for _, a := range []interface {
+		Validate() error
+	}{
+		Laplacian2D(5, 7), Laplacian3D(3, 4, 5), Shell(4, 5, 3),
+		Solid(3, 3, 3, 2), ThickShell(4, 4, 2, 3),
+	} {
+		if err := a.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRHSForSolution(t *testing.T) {
+	a := Laplacian2D(6, 6)
+	x, b := RHSForSolution(a)
+	y := make([]float64, a.N)
+	a.MatVec(x, y)
+	for i := range y {
+		if math.Abs(y[i]-b[i]) > 1e-12 {
+			t.Fatalf("b[%d] mismatch", i)
+		}
+	}
+}
+
+func TestProblemRelativeSizes(t *testing.T) {
+	// The analogue suite must keep the paper's size ordering roughly:
+	// SHIP001 and THREAD are the small problems; B5TUER the largest.
+	sz := map[string]int{}
+	for _, n := range Names() {
+		p, err := Generate(n, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sz[n] = p.A.N
+	}
+	if sz["SHIP001"] >= sz["SHIP003"] {
+		t.Fatalf("SHIP001 (%d) should be smaller than SHIP003 (%d)", sz["SHIP001"], sz["SHIP003"])
+	}
+	if sz["THREAD"] >= sz["B5TUER"] {
+		t.Fatalf("THREAD (%d) should be smaller than B5TUER (%d)", sz["THREAD"], sz["B5TUER"])
+	}
+}

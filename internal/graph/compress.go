@@ -1,0 +1,104 @@
+package graph
+
+import "sort"
+
+// CompressIndistinguishable groups vertices with identical closed
+// neighbourhoods (N(v) ∪ {v}) into single weighted vertices and returns the
+// compressed graph plus the member list of each compressed vertex. Finite
+// element problems with several unknowns per mesh node compress by the DOF
+// factor, which is how Scotch keeps ordering cost independent of the DOF
+// count; an ordering computed on the compressed graph expands to an ordering
+// of the original graph with the same fill.
+func CompressIndistinguishable(g *Graph) (*Graph, [][]int) {
+	n := g.N
+	// Hash the closed neighbourhood of each vertex (FNV-1a over sorted ids).
+	hash := make([]uint64, n)
+	for v := 0; v < n; v++ {
+		h := uint64(1469598103934665603)
+		mix := func(x int) {
+			h ^= uint64(x)
+			h *= 1099511628211
+		}
+		// Neighbors are sorted; merge v into its place for a canonical order.
+		inserted := false
+		for _, u := range g.Neighbors(v) {
+			if !inserted && v < u {
+				mix(v)
+				inserted = true
+			}
+			mix(u)
+		}
+		if !inserted {
+			mix(v)
+		}
+		hash[v] = h
+	}
+	byHash := make(map[uint64][]int)
+	for v := 0; v < n; v++ {
+		byHash[hash[v]] = append(byHash[hash[v]], v)
+	}
+
+	group := make([]int, n)
+	for i := range group {
+		group[i] = -1
+	}
+	var groups [][]int
+	sameClosed := func(a, b int) bool {
+		na, nb := g.Neighbors(a), g.Neighbors(b)
+		if len(na) != len(nb) {
+			return false
+		}
+		// Closed neighbourhoods equal ⇔ a,b adjacent and open neighbourhoods
+		// agree outside {a,b}.
+		i, j := 0, 0
+		seenB, seenA := false, false
+		for i < len(na) || j < len(nb) {
+			var x, y int
+			if i < len(na) {
+				x = na[i]
+			} else {
+				x = n
+			}
+			if j < len(nb) {
+				y = nb[j]
+			} else {
+				y = n
+			}
+			switch {
+			case x == b && !seenB:
+				seenB = true
+				i++
+			case y == a && !seenA:
+				seenA = true
+				j++
+			case x == y:
+				i++
+				j++
+			default:
+				return false
+			}
+		}
+		return seenA && seenB
+	}
+	// Deterministic group formation: scan vertices ascending.
+	for v := 0; v < n; v++ {
+		if group[v] >= 0 {
+			continue
+		}
+		gid := len(groups)
+		group[v] = gid
+		members := []int{v}
+		for _, u := range byHash[hash[v]] {
+			if u <= v || group[u] >= 0 {
+				continue
+			}
+			if sameClosed(v, u) {
+				group[u] = gid
+				members = append(members, u)
+			}
+		}
+		sort.Ints(members)
+		groups = append(groups, members)
+	}
+	return g.Compress(group, len(groups)), groups
+}

@@ -1,0 +1,124 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// dofExpand replicates each vertex of g into dof copies: copies of a node
+// are mutually adjacent and adjacent to all copies of neighbouring nodes —
+// exactly the structure of multi-DOF finite element matrices.
+func dofExpand(g *Graph, dof int) *Graph {
+	adj := make([][]int, g.N*dof)
+	for v := 0; v < g.N; v++ {
+		for a := 0; a < dof; a++ {
+			for b := a + 1; b < dof; b++ {
+				adj[v*dof+a] = append(adj[v*dof+a], v*dof+b)
+			}
+			for _, u := range g.Neighbors(v) {
+				for b := 0; b < dof; b++ {
+					adj[v*dof+a] = append(adj[v*dof+a], u*dof+b)
+				}
+			}
+		}
+	}
+	return New(adj)
+}
+
+func TestCompressRecoversDOFStructure(t *testing.T) {
+	base := Grid2D(6, 5)
+	for _, dof := range []int{2, 3, 6} {
+		g := dofExpand(base, dof)
+		cg, groups := CompressIndistinguishable(g)
+		if cg.N != base.N {
+			t.Fatalf("dof=%d: compressed to %d vertices, want %d", dof, cg.N, base.N)
+		}
+		if err := cg.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for _, grp := range groups {
+			if len(grp) != dof {
+				t.Fatalf("dof=%d: group size %d", dof, len(grp))
+			}
+		}
+		// The compressed graph must be isomorphic to the base grid: same
+		// degree sequence suffices as a smoke check, plus total weight.
+		if cg.TotalWeight() != g.N {
+			t.Fatalf("weights lost: %d want %d", cg.TotalWeight(), g.N)
+		}
+		for cv := 0; cv < cg.N; cv++ {
+			wantDeg := base.Degree(groups[cv][0] / dof)
+			if cg.Degree(cv) != wantDeg {
+				t.Fatalf("dof=%d: compressed degree %d want %d", dof, cg.Degree(cv), wantDeg)
+			}
+		}
+	}
+}
+
+func TestCompressNoOpOnIncompressible(t *testing.T) {
+	g := Grid2D(7, 7) // no two grid vertices share a closed neighbourhood
+	cg, groups := CompressIndistinguishable(g)
+	if cg.N != g.N {
+		t.Fatalf("grid compressed from %d to %d", g.N, cg.N)
+	}
+	for _, grp := range groups {
+		if len(grp) != 1 {
+			t.Fatal("spurious grouping")
+		}
+	}
+}
+
+func TestCompressGroupsArePartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 10; trial++ {
+		n := 5 + rng.Intn(25)
+		adj := make([][]int, n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.3 {
+					adj[i] = append(adj[i], j)
+				}
+			}
+		}
+		g := New(adj)
+		_, groups := CompressIndistinguishable(g)
+		seen := make([]bool, n)
+		for _, grp := range groups {
+			for _, v := range grp {
+				if seen[v] {
+					t.Fatal("vertex in two groups")
+				}
+				seen[v] = true
+			}
+		}
+		for v := 0; v < n; v++ {
+			if !seen[v] {
+				t.Fatalf("vertex %d unassigned", v)
+			}
+		}
+		// Every group must truly be indistinguishable: closed neighbourhoods
+		// coincide.
+		for _, grp := range groups {
+			for i := 1; i < len(grp); i++ {
+				a, b := grp[0], grp[i]
+				if !g.HasEdge(a, b) {
+					t.Fatalf("grouped non-adjacent %d,%d", a, b)
+				}
+				na := append([]int{a}, g.Neighbors(a)...)
+				nb := append([]int{b}, g.Neighbors(b)...)
+				set := make(map[int]bool)
+				for _, x := range na {
+					set[x] = true
+				}
+				for _, x := range nb {
+					if !set[x] {
+						t.Fatalf("closed neighbourhoods differ for %d,%d", a, b)
+					}
+				}
+				if len(na) != len(nb) {
+					t.Fatalf("closed neighbourhood sizes differ for %d,%d", a, b)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package graph
+
+// Grid2D returns the 5-point-stencil graph of an nx×ny grid
+// (vertex (i,j) has index i + j*nx).
+func Grid2D(nx, ny int) *Graph {
+	n := nx * ny
+	ptr := make([]int, n+1)
+	adj := make([]int, 0, 4*n)
+	idx := func(i, j int) int { return i + j*nx }
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			if j > 0 {
+				adj = append(adj, idx(i, j-1))
+			}
+			if i > 0 {
+				adj = append(adj, idx(i-1, j))
+			}
+			if i < nx-1 {
+				adj = append(adj, idx(i+1, j))
+			}
+			if j < ny-1 {
+				adj = append(adj, idx(i, j+1))
+			}
+			ptr[idx(i, j)+1] = len(adj)
+		}
+	}
+	return FromCSR(n, ptr, adj)
+}
+
+// Grid3D returns the 7-point-stencil graph of an nx×ny×nz grid
+// (vertex (i,j,k) has index i + j*nx + k*nx*ny).
+func Grid3D(nx, ny, nz int) *Graph {
+	n := nx * ny * nz
+	ptr := make([]int, n+1)
+	adj := make([]int, 0, 6*n)
+	idx := func(i, j, k int) int { return i + j*nx + k*nx*ny }
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				if k > 0 {
+					adj = append(adj, idx(i, j, k-1))
+				}
+				if j > 0 {
+					adj = append(adj, idx(i, j-1, k))
+				}
+				if i > 0 {
+					adj = append(adj, idx(i-1, j, k))
+				}
+				if i < nx-1 {
+					adj = append(adj, idx(i+1, j, k))
+				}
+				if j < ny-1 {
+					adj = append(adj, idx(i, j+1, k))
+				}
+				if k < nz-1 {
+					adj = append(adj, idx(i, j, k+1))
+				}
+				ptr[idx(i, j, k)+1] = len(adj)
+			}
+		}
+	}
+	return FromCSR(n, ptr, adj)
+}
+
+// Grid3D27 returns the 27-point-stencil graph of an nx×ny×nz grid: each
+// vertex is adjacent to all grid vertices in the surrounding 3×3×3 cube.
+// This models trilinear hexahedral finite elements.
+func Grid3D27(nx, ny, nz int) *Graph {
+	n := nx * ny * nz
+	ptr := make([]int, n+1)
+	adj := make([]int, 0, 26*n)
+	idx := func(i, j, k int) int { return i + j*nx + k*nx*ny }
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				for dk := -1; dk <= 1; dk++ {
+					kk := k + dk
+					if kk < 0 || kk >= nz {
+						continue
+					}
+					for dj := -1; dj <= 1; dj++ {
+						jj := j + dj
+						if jj < 0 || jj >= ny {
+							continue
+						}
+						for di := -1; di <= 1; di++ {
+							ii := i + di
+							if ii < 0 || ii >= nx {
+								continue
+							}
+							if di == 0 && dj == 0 && dk == 0 {
+								continue
+							}
+							adj = append(adj, idx(ii, jj, kk))
+						}
+					}
+				}
+				ptr[idx(i, j, k)+1] = len(adj)
+			}
+		}
+	}
+	return FromCSR(n, ptr, adj)
+}

@@ -1,0 +1,184 @@
+// Package mpsim provides the message-passing runtime substituting for MPI on
+// the paper's IBM SP2: P virtual processors run as goroutines and exchange
+// typed messages through unbounded per-processor mailboxes. Message and byte
+// counters give the experiments their communication-volume observables.
+//
+// Mailboxes are unbounded so the fan-in protocol can never deadlock on
+// buffer space (MPI eager-mode semantics); ordering is FIFO per sender and
+// receiver like MPI point-to-point.
+package mpsim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrClosed is returned by Recv when the communicator was shut down while
+// waiting — typically because a peer failed. Run reports the peer's original
+// error in preference to these secondary ones.
+var ErrClosed = errors.New("mpsim: mailbox closed")
+
+// Message is the unit of communication.
+type Message struct {
+	Kind int8 // application-defined taxonomy
+	Src  int  // sending processor
+	Dst  int  // receiving processor
+	Tag  int  // application-defined routing key (e.g. destination task id)
+	Data []float64
+}
+
+// Comm connects P virtual processors.
+type Comm struct {
+	p        int
+	boxes    []mailbox
+	nMsgs    atomic.Int64
+	nBytes   atomic.Int64
+	maxInFly atomic.Int64
+	inFlight atomic.Int64
+}
+
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Message
+	closed bool
+}
+
+// NewComm creates a communicator for p processors.
+func NewComm(p int) *Comm {
+	if p <= 0 {
+		panic("mpsim: non-positive processor count")
+	}
+	c := &Comm{p: p, boxes: make([]mailbox, p)}
+	for i := range c.boxes {
+		c.boxes[i].cond = sync.NewCond(&c.boxes[i].mu)
+	}
+	return c
+}
+
+// P returns the number of processors.
+func (c *Comm) P() int { return c.p }
+
+// Send enqueues m into the destination mailbox. Data is NOT copied: the
+// sender must not mutate it afterwards (same contract as MPI_Isend buffers).
+func (c *Comm) Send(m Message) {
+	if m.Dst < 0 || m.Dst >= c.p {
+		panic(fmt.Sprintf("mpsim: send to processor %d of %d", m.Dst, c.p))
+	}
+	if m.Src == m.Dst {
+		panic("mpsim: self-send; local work must not use the network")
+	}
+	c.nMsgs.Add(1)
+	c.nBytes.Add(int64(len(m.Data)) * 8)
+	if f := c.inFlight.Add(1); f > c.maxInFly.Load() {
+		c.maxInFly.Store(f)
+	}
+	b := &c.boxes[m.Dst]
+	b.mu.Lock()
+	if b.closed {
+		// The communicator is shutting down after a failure elsewhere; drop
+		// the message so the sender can unwind and report its own state.
+		b.mu.Unlock()
+		c.inFlight.Add(-1)
+		return
+	}
+	b.queue = append(b.queue, m)
+	b.mu.Unlock()
+	b.cond.Signal()
+}
+
+// Recv blocks until a message for processor p arrives and returns it.
+func (c *Comm) Recv(p int) (Message, error) {
+	b := &c.boxes[p]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.queue) == 0 {
+		if b.closed {
+			return Message{}, fmt.Errorf("mpsim: receive on %d: %w", p, ErrClosed)
+		}
+		b.cond.Wait()
+	}
+	m := b.queue[0]
+	b.queue = b.queue[1:]
+	c.inFlight.Add(-1)
+	return m, nil
+}
+
+// TryRecv returns a pending message without blocking; ok is false when the
+// mailbox is empty.
+func (c *Comm) TryRecv(p int) (Message, bool) {
+	b := &c.boxes[p]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.queue) == 0 {
+		return Message{}, false
+	}
+	m := b.queue[0]
+	b.queue = b.queue[1:]
+	c.inFlight.Add(-1)
+	return m, true
+}
+
+// Close closes every mailbox, waking blocked receivers with an error.
+// Call it after all processors have finished to catch protocol leaks.
+func (c *Comm) Close() {
+	for i := range c.boxes {
+		b := &c.boxes[i]
+		b.mu.Lock()
+		b.closed = true
+		b.mu.Unlock()
+		b.cond.Broadcast()
+	}
+}
+
+// Stats reports the total messages and bytes sent, and the peak number of
+// in-flight messages.
+func (c *Comm) Stats() (msgs, bytes, maxInFlight int64) {
+	return c.nMsgs.Load(), c.nBytes.Load(), c.maxInFly.Load()
+}
+
+// Run launches fn on each of the P processors and waits for completion. The
+// first error (or panic, re-raised) is returned.
+func (c *Comm) Run(fn func(p int) error) error {
+	errs := make([]error, c.p)
+	panics := make([]any, c.p)
+	var wg sync.WaitGroup
+	for p := 0; p < c.p; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[p] = r
+					c.Close() // unblock peers stuck in Recv
+				}
+			}()
+			errs[p] = fn(p)
+			if errs[p] != nil {
+				c.Close()
+			}
+		}(p)
+	}
+	wg.Wait()
+	for p, r := range panics {
+		if r != nil {
+			panic(fmt.Sprintf("mpsim: processor %d panicked: %v", p, r))
+		}
+	}
+	// Prefer a root-cause error over the secondary closed-mailbox errors the
+	// shutdown broadcast induces on the other processors.
+	var closedErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, ErrClosed) {
+			closedErr = err
+			continue
+		}
+		return err
+	}
+	return closedErr
+}

@@ -1,0 +1,69 @@
+package order
+
+import (
+	"testing"
+
+	"github.com/pastix-go/pastix/internal/graph"
+)
+
+// dofExpand mirrors the graph test helper.
+func dofExpand(g *graph.Graph, dof int) *graph.Graph {
+	adj := make([][]int, g.N*dof)
+	for v := 0; v < g.N; v++ {
+		for a := 0; a < dof; a++ {
+			for b := a + 1; b < dof; b++ {
+				adj[v*dof+a] = append(adj[v*dof+a], v*dof+b)
+			}
+			for _, u := range g.Neighbors(v) {
+				for b := 0; b < dof; b++ {
+					adj[v*dof+a] = append(adj[v*dof+a], u*dof+b)
+				}
+			}
+		}
+	}
+	return graph.New(adj)
+}
+
+func TestCompressedOrderingValid(t *testing.T) {
+	g := dofExpand(graph.Grid2D(10, 10), 3)
+	for _, m := range []Method{ScotchLike, MetisLike, PureAMD} {
+		o := Compute(g, Options{Method: m, LeafSize: 20, Compress: true})
+		if err := o.Validate(g.N); err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+	}
+}
+
+func TestCompressedOrderingKeepsGroupsTogether(t *testing.T) {
+	const dof = 3
+	g := dofExpand(graph.Grid2D(8, 8), dof)
+	o := Compute(g, Options{Method: ScotchLike, LeafSize: 15, Compress: true})
+	// All DOFs of one node must be consecutive in the permutation.
+	for pos := 0; pos < len(o.Perm); pos += dof {
+		node := o.Perm[pos] / dof
+		for i := 1; i < dof; i++ {
+			if o.Perm[pos+i]/dof != node {
+				t.Fatalf("group split at position %d", pos)
+			}
+		}
+	}
+}
+
+func TestCompressionDoesNotHurtFill(t *testing.T) {
+	// Compressed and uncompressed orderings should give similar supernode
+	// totals; we only check both are valid and compression keeps the
+	// supernode count no larger (groups merge into nodes).
+	g := dofExpand(graph.Grid2D(9, 9), 2)
+	plain := Compute(g, Options{Method: ScotchLike, LeafSize: 20})
+	comp := Compute(g, Options{Method: ScotchLike, LeafSize: 20, Compress: true})
+	if err := plain.Validate(g.N); err != nil {
+		t.Fatal(err)
+	}
+	if err := comp.Validate(g.N); err != nil {
+		t.Fatal(err)
+	}
+	if len(comp.SupernodeSizes) > len(plain.SupernodeSizes) {
+		t.Fatalf("compression increased supernode count: %d vs %d",
+			len(comp.SupernodeSizes), len(plain.SupernodeSizes))
+	}
+}

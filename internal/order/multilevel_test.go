@@ -1,0 +1,120 @@
+package order
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/pastix-go/pastix/internal/graph"
+)
+
+func checkSeparates(t *testing.T, g *graph.Graph, a, b, sep []int) {
+	t.Helper()
+	if len(a) == 0 || len(b) == 0 {
+		t.Fatalf("degenerate split %d/%d/%d", len(a), len(b), len(sep))
+	}
+	side := make(map[int]int, g.N)
+	for _, v := range a {
+		side[v] = 0
+	}
+	for _, v := range b {
+		side[v] = 1
+	}
+	for _, v := range a {
+		for _, u := range g.Neighbors(v) {
+			if s, ok := side[u]; ok && s == 1 {
+				t.Fatalf("edge (%d,%d) crosses separator", v, u)
+			}
+		}
+	}
+	if len(a)+len(b)+len(sep) != g.N {
+		t.Fatal("split does not partition the graph")
+	}
+}
+
+func TestMultilevelSeparatorGrid(t *testing.T) {
+	g := graph.Grid2D(30, 30)
+	a, b, sep := multilevelSeparator(g, 8)
+	checkSeparates(t, g, a, b, sep)
+	if len(sep) > 3*30 {
+		t.Fatalf("separator too fat: %d", len(sep))
+	}
+	// Balance within 4:1.
+	if len(a) > 4*len(b) || len(b) > 4*len(a) {
+		t.Fatalf("unbalanced: %d vs %d", len(a), len(b))
+	}
+}
+
+// irregularGraph builds a grid with random long-range chords — level-set
+// separators degrade here; multilevel should stay competitive.
+func irregularGraph(nx, ny int, extra int, seed int64) *graph.Graph {
+	base := graph.Grid2D(nx, ny)
+	rng := rand.New(rand.NewSource(seed))
+	adj := make([][]int, base.N)
+	for v := 0; v < base.N; v++ {
+		adj[v] = append(adj[v], base.Neighbors(v)...)
+	}
+	for e := 0; e < extra; e++ {
+		u, v := rng.Intn(base.N), rng.Intn(base.N)
+		if u != v {
+			adj[u] = append(adj[u], v)
+		}
+	}
+	return graph.New(adj)
+}
+
+func TestMultilevelSeparatorIrregular(t *testing.T) {
+	g := irregularGraph(24, 24, 60, 7)
+	a, b, sep := multilevelSeparator(g, 8)
+	checkSeparates(t, g, a, b, sep)
+	// It must not be catastrophically worse than the single-level cut.
+	_, _, sepL := levelSeparator(g, 8)
+	if len(sepL) > 0 && len(sep) > 2*len(sepL)+10 {
+		t.Fatalf("multilevel separator %d much worse than level-set %d", len(sep), len(sepL))
+	}
+	t.Logf("multilevel separator %d, level-set %d", len(sep), len(sepL))
+}
+
+func TestMultilevelOrderingEndToEnd(t *testing.T) {
+	g := graph.Grid3D(9, 9, 9)
+	o := Compute(g, Options{Method: ScotchLike, LeafSize: 40, Multilevel: true})
+	if err := o.Validate(g.N); err != nil {
+		t.Fatal(err)
+	}
+	// Fill quality within 1.5x of the single-level variant on a cube.
+	fillML := fillOf(t, g, o.Perm)
+	plain := Compute(g, Options{Method: ScotchLike, LeafSize: 40})
+	fillSL := fillOf(t, g, plain.Perm)
+	t.Logf("fill multilevel %d vs single-level %d", fillML, fillSL)
+	if float64(fillML) > 1.5*float64(fillSL) {
+		t.Fatalf("multilevel fill %d much worse than single-level %d", fillML, fillSL)
+	}
+}
+
+func TestMatchVerticesIsMatching(t *testing.T) {
+	g := graph.Grid2D(11, 7)
+	match := matchVertices(g)
+	for v, m := range match {
+		if m < 0 || m >= g.N {
+			t.Fatalf("vertex %d unmatched slot %d", v, m)
+		}
+		if m != v {
+			if match[m] != v {
+				t.Fatalf("asymmetric match %d-%d", v, m)
+			}
+			if !g.HasEdge(v, m) {
+				t.Fatalf("matched non-adjacent %d-%d", v, m)
+			}
+		}
+	}
+}
+
+func TestMultilevelDeterministic(t *testing.T) {
+	g := irregularGraph(20, 20, 40, 9)
+	o1 := Compute(g, Options{Method: ScotchLike, LeafSize: 30, Multilevel: true})
+	o2 := Compute(g, Options{Method: ScotchLike, LeafSize: 30, Multilevel: true})
+	for i := range o1.Perm {
+		if o1.Perm[i] != o2.Perm[i] {
+			t.Fatalf("non-deterministic at %d", i)
+		}
+	}
+}

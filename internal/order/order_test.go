@@ -1,0 +1,265 @@
+package order
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/pastix-go/pastix/internal/graph"
+)
+
+func TestAMDPath(t *testing.T) {
+	g := graph.Grid2D(10, 1) // path
+	res := AMD(g)
+	if len(res.Order) != 10 {
+		t.Fatalf("order len %d", len(res.Order))
+	}
+	checkPermutation(t, res.Order, 10)
+	sum := 0
+	for _, s := range res.Supernodes {
+		if s <= 0 {
+			t.Fatal("non-positive supernode")
+		}
+		sum += s
+	}
+	if sum != 10 {
+		t.Fatalf("supernode sizes sum %d", sum)
+	}
+}
+
+func checkPermutation(t *testing.T, p []int, n int) {
+	t.Helper()
+	if len(p) != n {
+		t.Fatalf("length %d want %d", len(p), n)
+	}
+	seen := make([]bool, n)
+	for _, v := range p {
+		if v < 0 || v >= n || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestAMDCompleteGraph(t *testing.T) {
+	// K5: every vertex equivalent; AMD should mass-eliminate via
+	// indistinguishability into few supernodes.
+	adj := make([][]int, 5)
+	for i := range adj {
+		for j := 0; j < 5; j++ {
+			if i != j {
+				adj[i] = append(adj[i], j)
+			}
+		}
+	}
+	g := graph.New(adj)
+	res := AMD(g)
+	checkPermutation(t, res.Order, 5)
+	if len(res.Supernodes) > 2 {
+		t.Fatalf("K5 should collapse into at most 2 supernodes, got %v", res.Supernodes)
+	}
+}
+
+func TestAMDStarGraph(t *testing.T) {
+	// Star: center must be eliminated last.
+	adj := make([][]int, 8)
+	for i := 1; i < 8; i++ {
+		adj[0] = append(adj[0], i)
+	}
+	g := graph.New(adj)
+	res := AMD(g)
+	checkPermutation(t, res.Order, 8)
+	// The center has degree 7 and must not be eliminated while two or more
+	// leaves remain (once one leaf is left, the center ties with it at
+	// degree 1, so either may go first).
+	pos := 0
+	for i, v := range res.Order {
+		if v == 0 {
+			pos = i
+		}
+	}
+	if pos < 6 {
+		t.Fatalf("center eliminated too early (pos %d): %v", pos, res.Order)
+	}
+}
+
+func TestHaloAMDOnlyInterior(t *testing.T) {
+	g := graph.Grid2D(6, 6)
+	verts := []int{0, 1, 2, 6, 7, 8, 12, 13, 14} // 3x3 corner block
+	sub, l2g, nInner := g.HaloSubgraph(verts)
+	res := HaloAMD(sub, nInner)
+	if len(res.Order) != nInner {
+		t.Fatalf("ordered %d interior, want %d", len(res.Order), nInner)
+	}
+	for _, lv := range res.Order {
+		if lv >= nInner {
+			t.Fatalf("halo vertex %d (global %d) in order", lv, l2g[lv])
+		}
+	}
+	checkPermutation(t, res.Order, nInner)
+}
+
+func TestHaloAMDPrefersInteriorOfBlock(t *testing.T) {
+	// On a path 0-1-2-3-4 with {0,1,2} interior and halo {3}: vertex 2 sees
+	// its true degree 2 through the halo, so vertex 0 (true degree 1) must be
+	// eliminated first.
+	g := graph.Grid2D(5, 1)
+	sub, _, nInner := g.HaloSubgraph([]int{0, 1, 2})
+	res := HaloAMD(sub, nInner)
+	if res.Order[0] != 0 {
+		t.Fatalf("expected vertex 0 first, got %v", res.Order)
+	}
+}
+
+func TestComputeMethods(t *testing.T) {
+	g := graph.Grid3D(6, 6, 6)
+	for _, m := range []Method{ScotchLike, MetisLike, PureAMD, Natural} {
+		o := Compute(g, Options{Method: m, LeafSize: 30})
+		if err := o.Validate(g.N); err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if ScotchLike.String() != "scotch" || MetisLike.String() != "metis" ||
+		PureAMD.String() != "amd" || Natural.String() != "natural" {
+		t.Fatal("method names changed")
+	}
+	if Method(99).String() == "" {
+		t.Fatal("unknown method should still print")
+	}
+}
+
+func TestRangesCoverColumns(t *testing.T) {
+	g := graph.Grid2D(15, 15)
+	o := Compute(g, Options{Method: ScotchLike, LeafSize: 25})
+	pos := 0
+	for _, r := range o.Ranges() {
+		if r[0] != pos || r[1] <= r[0] {
+			t.Fatalf("bad range %v at pos %d", r, pos)
+		}
+		pos = r[1]
+	}
+	if pos != g.N {
+		t.Fatalf("ranges cover %d of %d", pos, g.N)
+	}
+}
+
+// separatorProperty checks that for every supernode S ordered at positions
+// [lo,hi), no graph edge joins a vertex ordered before lo to a vertex ordered
+// at/after hi *through* vertices all ordered earlier — a weak but useful
+// proxy: here we simply verify each level-set separator really separates.
+func TestLevelSeparatorSeparates(t *testing.T) {
+	g := graph.Grid2D(12, 12)
+	a, b, sep := levelSeparator(g, 8)
+	if len(a) == 0 || len(b) == 0 || len(sep) == 0 {
+		t.Fatalf("degenerate split %d/%d/%d", len(a), len(b), len(sep))
+	}
+	side := make(map[int]int)
+	for _, v := range a {
+		side[v] = 0
+	}
+	for _, v := range b {
+		side[v] = 1
+	}
+	for _, v := range a {
+		for _, u := range g.Neighbors(v) {
+			if s, ok := side[u]; ok && s == 1 {
+				t.Fatalf("edge (%d,%d) crosses the separator", v, u)
+			}
+		}
+	}
+	// On a 12x12 grid a separator should be around one grid line (≤ ~2 lines
+	// after refinement).
+	if len(sep) > 30 {
+		t.Fatalf("separator too fat: %d", len(sep))
+	}
+}
+
+func TestVertexCoverSeparatorSeparates(t *testing.T) {
+	g := graph.Grid2D(12, 12)
+	a, b, sep := vertexCoverSeparator(g)
+	if len(a) == 0 || len(b) == 0 || len(sep) == 0 {
+		t.Fatalf("degenerate split %d/%d/%d", len(a), len(b), len(sep))
+	}
+	side := make(map[int]int)
+	for _, v := range a {
+		side[v] = 0
+	}
+	for _, v := range b {
+		side[v] = 1
+	}
+	for _, v := range a {
+		for _, u := range g.Neighbors(v) {
+			if s, ok := side[u]; ok && s == 1 {
+				t.Fatalf("edge (%d,%d) crosses the separator", v, u)
+			}
+		}
+	}
+}
+
+func TestDissectDisconnected(t *testing.T) {
+	// Two disjoint 7x7 grids as one graph.
+	g1 := graph.Grid2D(7, 7)
+	n := g1.N
+	adj := make([][]int, 2*n)
+	for v := 0; v < n; v++ {
+		for _, u := range g1.Neighbors(v) {
+			adj[v] = append(adj[v], u)
+			adj[v+n] = append(adj[v+n], u+n)
+		}
+	}
+	g := graph.New(adj)
+	o := Compute(g, Options{Method: ScotchLike, LeafSize: 10})
+	if err := o.Validate(g.N); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeparatorLastInOrdering(t *testing.T) {
+	// The last supernode of an ND ordering of a connected grid is the top
+	// separator; every vertex in it must have neighbours ordered earlier on
+	// both "sides" — we at least check it is a genuine vertex separator:
+	// removing it disconnects the graph (for a grid large enough).
+	g := graph.Grid2D(20, 20)
+	o := Compute(g, Options{Method: ScotchLike, LeafSize: 30})
+	ranges := o.Ranges()
+	top := ranges[len(ranges)-1]
+	mask := make([]int, g.N)
+	for newI := top[0]; newI < top[1]; newI++ {
+		mask[o.Perm[newI]] = 1 // removed
+	}
+	_, ncomp := g.Components(nil, mask, 0)
+	if ncomp < 2 {
+		t.Fatalf("top separator does not disconnect the grid (ncomp=%d)", ncomp)
+	}
+}
+
+func TestOrderDeterminism(t *testing.T) {
+	g := graph.Grid3D(7, 7, 7)
+	o1 := Compute(g, Options{Method: ScotchLike, LeafSize: 40})
+	o2 := Compute(g, Options{Method: ScotchLike, LeafSize: 40})
+	for i := range o1.Perm {
+		if o1.Perm[i] != o2.Perm[i] {
+			t.Fatalf("non-deterministic ordering at %d", i)
+		}
+	}
+}
+
+func TestAMDRandomGraphsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(60)
+		adj := make([][]int, n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.15 {
+					adj[i] = append(adj[i], j)
+				}
+			}
+		}
+		g := graph.New(adj)
+		res := AMD(g)
+		checkPermutation(t, res.Order, n)
+	}
+}

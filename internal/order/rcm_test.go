@@ -1,0 +1,83 @@
+package order
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/pastix-go/pastix/internal/graph"
+)
+
+func TestRCMIsPermutation(t *testing.T) {
+	g := graph.Grid2D(9, 7)
+	o := RCM(g)
+	if err := o.Validate(g.N); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRCMReducesBandwidthOnShuffledGrid(t *testing.T) {
+	// Build a grid whose natural labels are shuffled; RCM must bring the
+	// bandwidth down to near the grid's optimum (min(nx,ny)+1).
+	nx, ny := 16, 12
+	base := graph.Grid2D(nx, ny)
+	rng := rand.New(rand.NewSource(61))
+	shuffle := rng.Perm(base.N)
+	adj := make([][]int, base.N)
+	for v := 0; v < base.N; v++ {
+		for _, u := range base.Neighbors(v) {
+			adj[shuffle[v]] = append(adj[shuffle[v]], shuffle[u])
+		}
+	}
+	g := graph.New(adj)
+	ident := make([]int, g.N)
+	for i := range ident {
+		ident[i] = i
+	}
+	before := Bandwidth(g, ident)
+	o := RCM(g)
+	after := Bandwidth(g, o.IPerm)
+	if after >= before {
+		t.Fatalf("RCM did not reduce bandwidth: %d -> %d", before, after)
+	}
+	if after > 3*(min(nx, ny)+1) {
+		t.Fatalf("RCM bandwidth %d far from grid optimum %d", after, min(nx, ny)+1)
+	}
+	if p := Profile(g, o.IPerm); p <= 0 {
+		t.Fatal("profile must be positive")
+	}
+}
+
+func TestRCMDisconnected(t *testing.T) {
+	// Two components.
+	adj := make([][]int, 7)
+	adj[0] = []int{1}
+	adj[1] = []int{2}
+	adj[4] = []int{5}
+	adj[5] = []int{6}
+	g := graph.New(adj)
+	o := RCM(g)
+	if err := o.Validate(g.N); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBandwidthOfPath(t *testing.T) {
+	g := graph.Grid2D(10, 1)
+	ident := make([]int, 10)
+	for i := range ident {
+		ident[i] = i
+	}
+	if bw := Bandwidth(g, ident); bw != 1 {
+		t.Fatalf("path bandwidth %d", bw)
+	}
+	if p := Profile(g, ident); p != 9 {
+		t.Fatalf("path profile %d", p)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

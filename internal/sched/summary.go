@@ -1,0 +1,70 @@
+package sched
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteSummary prints a human-readable account of the schedule: task mix,
+// load and memory balance, communication volume, and what the modelled
+// critical path consists of — the quantities §2 of the paper argues the
+// static regulation controls.
+func (s *Schedule) WriteSummary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	st := s.ComputeStats()
+	fmt.Fprintf(bw, "schedule: %d tasks on %d processors (%d COMP1D, %d FACTOR, %d BDIV, %d BMOD)\n",
+		st.NTasks, s.P, st.NComp1D, st.NFactor, st.NBDiv, st.NBMod)
+	fmt.Fprintf(bw, "model   : makespan %.4fs, sequential %.4fs, speedup %.2f, efficiency %.0f%%\n",
+		st.Makespan, st.SeqTime, st.SeqTime/st.Makespan, 100*st.SeqTime/st.Makespan/float64(s.P))
+	fmt.Fprintf(bw, "balance : busy-time imbalance %.2f (max/mean)\n", st.LoadImbalance)
+	fmt.Fprintf(bw, "comm    : %.2f MB modelled cross-processor volume\n", float64(st.CommVolume)/1e6)
+
+	mem := s.MemoryPerProc()
+	var memMax, memTot int64
+	for _, m := range mem {
+		memTot += m
+		if m > memMax {
+			memMax = m
+		}
+	}
+	if memTot > 0 {
+		fmt.Fprintf(bw, "memory  : %.2f MB factor total, %.2f MB max/proc (imbalance %.2f)\n",
+			float64(memTot)/1e6, float64(memMax)/1e6,
+			float64(memMax)*float64(s.P)/float64(memTot))
+	}
+
+	// Column-block width histogram.
+	var hist [6]int
+	bounds := [5]int{8, 16, 32, 64, 128}
+	for k := range s.sym.CB {
+		w := s.sym.CB[k].Width()
+		i := 0
+		for i < len(bounds) && w > bounds[i] {
+			i++
+		}
+		hist[i]++
+	}
+	fmt.Fprintf(bw, "widths  : ≤8:%d ≤16:%d ≤32:%d ≤64:%d ≤128:%d >128:%d (of %d column blocks)\n",
+		hist[0], hist[1], hist[2], hist[3], hist[4], hist[5], s.sym.NumCB())
+
+	// Critical path composition.
+	path := s.CriticalPath()
+	var comp [4]float64
+	var commGap float64
+	prevEnd := 0.0
+	for _, id := range path {
+		t := &s.Tasks[id]
+		comp[t.Type] += t.End - t.Start
+		if t.Start > prevEnd {
+			commGap += t.Start - prevEnd
+		}
+		prevEnd = t.End
+	}
+	fmt.Fprintf(bw, "critpath: %d tasks; time in COMP1D %.0f%%, FACTOR %.0f%%, BDIV %.0f%%, BMOD %.0f%%, waits %.0f%%\n",
+		len(path),
+		100*comp[Comp1D]/st.Makespan, 100*comp[Factor]/st.Makespan,
+		100*comp[BDiv]/st.Makespan, 100*comp[BMod]/st.Makespan,
+		100*commGap/st.Makespan)
+	return bw.Flush()
+}

@@ -1,0 +1,144 @@
+package sched
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteCSV dumps the mapped schedule as CSV (one row per task) for external
+// analysis: rank, processor, type, cell, block indices, modelled start/end.
+func (s *Schedule) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "rank,proc,type,cell,s,t,start,end")
+	order := make([]int, len(s.Tasks))
+	for i := range s.Tasks {
+		order[s.Tasks[i].Rank] = i
+	}
+	for _, id := range order {
+		t := &s.Tasks[id]
+		fmt.Fprintf(bw, "%d,%d,%s,%d,%d,%d,%.9f,%.9f\n",
+			t.Rank, t.Proc, t.Type, t.Cell, t.S, t.T, t.Start, t.End)
+	}
+	return bw.Flush()
+}
+
+// WriteGantt renders a textual Gantt chart of the modelled schedule: one
+// line per processor, time binned into width columns. Busy bins show the
+// dominant task type (1=COMP1D, F=FACTOR, D=BDIV, M=BMOD), idle bins '.'.
+func (s *Schedule) WriteGantt(w io.Writer, width int) error {
+	if width <= 0 {
+		width = 100
+	}
+	bw := bufio.NewWriter(w)
+	if s.Makespan <= 0 {
+		fmt.Fprintln(bw, "(empty schedule)")
+		return bw.Flush()
+	}
+	binDur := s.Makespan / float64(width)
+	glyph := map[TaskType]byte{Comp1D: '1', Factor: 'F', BDiv: 'D', BMod: 'M'}
+	fmt.Fprintf(bw, "modelled makespan %.6fs, %d tasks, %d processors; one column = %.2es\n",
+		s.Makespan, len(s.Tasks), s.P, binDur)
+	for p := 0; p < s.P; p++ {
+		// For each bin, the task type with the largest time share.
+		share := make([]map[TaskType]float64, width)
+		for i := range share {
+			share[i] = make(map[TaskType]float64)
+		}
+		for _, id := range s.ByProc[p] {
+			t := &s.Tasks[id]
+			b0 := int(t.Start / binDur)
+			b1 := int(t.End / binDur)
+			if b1 >= width {
+				b1 = width - 1
+			}
+			for b := b0; b <= b1; b++ {
+				lo := float64(b) * binDur
+				hi := lo + binDur
+				if t.Start > lo {
+					lo = t.Start
+				}
+				if t.End < hi {
+					hi = t.End
+				}
+				if hi > lo {
+					share[b][t.Type] += hi - lo
+				}
+			}
+		}
+		line := make([]byte, width)
+		for b := 0; b < width; b++ {
+			best, bestV := byte('.'), 0.0
+			// Deterministic order over task types.
+			for _, tt := range []TaskType{Comp1D, Factor, BDiv, BMod} {
+				if v := share[b][tt]; v > bestV {
+					best, bestV = glyph[tt], v
+				}
+			}
+			line[b] = best
+		}
+		busy := 0.0
+		for _, id := range s.ByProc[p] {
+			busy += s.Tasks[id].End - s.Tasks[id].Start
+		}
+		fmt.Fprintf(bw, "P%-3d |%s| %4.0f%%\n", p, line, 100*busy/s.Makespan)
+	}
+	return bw.Flush()
+}
+
+// CriticalPath returns the modelled critical path of the schedule: the chain
+// of tasks ending at the makespan, following for each task its
+// latest-finishing predecessor. Useful to understand what limits speedup.
+func (s *Schedule) CriticalPath() []int {
+	if len(s.Tasks) == 0 {
+		return nil
+	}
+	// Reverse edges.
+	preds := make([][]int, len(s.Tasks))
+	for i := range s.Tasks {
+		for _, e := range s.Tasks[i].Outs {
+			preds[e.Dst] = append(preds[e.Dst], i)
+		}
+	}
+	// Start from the task with the largest End.
+	cur := 0
+	for i := range s.Tasks {
+		if s.Tasks[i].End > s.Tasks[cur].End {
+			cur = i
+		}
+	}
+	path := []int{cur}
+	for {
+		t := &s.Tasks[cur]
+		// Prefer the predecessor whose End is latest; if the task started
+		// after all predecessors finished (processor busy elsewhere), follow
+		// the previous task on the same processor instead.
+		best := -1
+		for _, p := range preds[cur] {
+			if best == -1 || s.Tasks[p].End > s.Tasks[best].End {
+				best = p
+			}
+		}
+		prevOnProc := -1
+		list := s.ByProc[t.Proc]
+		idx := sort.Search(len(list), func(i int) bool { return s.Tasks[list[i]].Rank >= t.Rank })
+		if idx > 0 {
+			prevOnProc = list[idx-1]
+		}
+		next := best
+		if prevOnProc >= 0 && (best == -1 || s.Tasks[prevOnProc].End > s.Tasks[best].End) && s.Tasks[prevOnProc].End >= t.Start-1e-15 {
+			next = prevOnProc
+		}
+		if next == -1 {
+			break
+		}
+		path = append(path, next)
+		cur = next
+	}
+	// Reverse into execution order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}

@@ -1,0 +1,96 @@
+package sched
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	a := testMatrix(t, "SHIP001", 0.04)
+	_, sch := buildSchedule(t, a, 4, 24)
+	var buf bytes.Buffer
+	if err := sch.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(sch.Tasks)+1 {
+		t.Fatalf("csv rows %d want %d", len(lines), len(sch.Tasks)+1)
+	}
+	if !strings.HasPrefix(lines[0], "rank,proc,type") {
+		t.Fatalf("header %q", lines[0])
+	}
+	// Rows are rank-ordered: rank column of row i is i-1.
+	if !strings.HasPrefix(lines[1], "0,") || !strings.HasPrefix(lines[2], "1,") {
+		t.Fatal("csv not rank ordered")
+	}
+}
+
+func TestWriteGantt(t *testing.T) {
+	a := testMatrix(t, "QUER", 0.03)
+	_, sch := buildSchedule(t, a, 4, 24)
+	var buf bytes.Buffer
+	if err := sch.WriteGantt(&buf, 60); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1+4 {
+		t.Fatalf("gantt lines %d want 5:\n%s", len(lines), out)
+	}
+	for _, l := range lines[1:] {
+		if !strings.Contains(l, "|") || !strings.Contains(l, "%") {
+			t.Fatalf("malformed gantt row %q", l)
+		}
+	}
+	// At least one processor must be visibly busy (tiny test problems can
+	// leave individual processors nearly idle).
+	busySomewhere := false
+	for _, l := range lines[1:] {
+		if !strings.Contains(l, "   0%") {
+			busySomewhere = true
+		}
+	}
+	if !busySomewhere {
+		t.Fatalf("all processors idle:\n%s", out)
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	a := testMatrix(t, "OILPAN", 0.02)
+	_, sch := buildSchedule(t, a, 8, 24)
+	path := sch.CriticalPath()
+	if len(path) == 0 {
+		t.Fatal("empty critical path")
+	}
+	// Ends at the makespan.
+	last := &sch.Tasks[path[len(path)-1]]
+	if last.End < sch.Makespan*(1-1e-12) {
+		t.Fatalf("critical path ends at %g, makespan %g", last.End, sch.Makespan)
+	}
+	// Monotone in time.
+	for i := 1; i < len(path); i++ {
+		if sch.Tasks[path[i]].End < sch.Tasks[path[i-1]].End-1e-15 {
+			t.Fatal("critical path not monotone")
+		}
+	}
+	// Path length bounded by task count.
+	if len(path) > len(sch.Tasks) {
+		t.Fatal("path longer than task count")
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	a := testMatrix(t, "SHIP001", 0.05)
+	_, sch := buildSchedule(t, a, 4, 24)
+	var buf bytes.Buffer
+	if err := sch.WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"schedule:", "model", "balance", "comm", "memory", "widths", "critpath"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package solver
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/pastix-go/pastix/internal/cost"
+	"github.com/pastix-go/pastix/internal/etree"
+	"github.com/pastix-go/pastix/internal/graph"
+	"github.com/pastix-go/pastix/internal/order"
+	"github.com/pastix-go/pastix/internal/part"
+	"github.com/pastix-go/pastix/internal/sched"
+	"github.com/pastix-go/pastix/internal/sparse"
+	"github.com/pastix-go/pastix/internal/symbolic"
+)
+
+// Options configures the analysis (pre-processing) pipeline.
+type Options struct {
+	// P is the number of (virtual) processors the schedule targets (≥1;
+	// default 1).
+	P int
+	// Ordering configures the fill-reducing ordering (default: ScotchLike
+	// nested dissection + Halo-AMD).
+	Ordering order.Options
+	// Amalgamation controls relaxed supernode amalgamation.
+	Amalgamation etree.AmalgamateOptions
+	// Part controls supernode splitting and the 1D/2D switch.
+	Part part.Options
+	// Machine supplies the cost models; nil selects the deterministic
+	// SP2-like analytic profile.
+	Machine *cost.Machine
+	// Sched tunes the static scheduler (ablation switches).
+	Sched sched.Options
+}
+
+// Analysis is the result of the pre-processing phases: the permuted matrix,
+// the composed permutation, the block symbolic structure, and the static
+// schedule. It is immutable once built and may be reused for several
+// numerical factorizations (e.g. different values, same pattern).
+type Analysis struct {
+	A       *sparse.SymMatrix // permuted matrix P·A·Pᵀ
+	Perm    []int             // Perm[new] = old (composed ordering ∘ postorder)
+	IPerm   []int             // IPerm[old] = new
+	Snodes  *etree.Supernodes
+	Sym     *symbolic.Symbol
+	Mapping *part.Mapping
+	Sched   *sched.Schedule
+	Machine *cost.Machine
+
+	// Scalar metrics from the column counts of the permuted matrix (these
+	// are the paper's Table 1 numbers — scalar, not block, fill).
+	ScalarNNZL int64
+	ScalarOPC  float64
+
+	// Phase durations of this analysis (ordering, elimination-tree +
+	// supernode work, block symbolic factorization, mapping + scheduling).
+	OrderTime, TreeTime, SymbolicTime, SchedTime time.Duration
+}
+
+// Analyze runs ordering, symbolic factorization, repartitioning, candidate
+// mapping and static scheduling for matrix a.
+func Analyze(a *sparse.SymMatrix, opts Options) (*Analysis, error) {
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("solver: invalid matrix: %w", err)
+	}
+	if opts.P <= 0 {
+		opts.P = 1
+	}
+	mach := opts.Machine
+	if mach == nil {
+		mach = cost.SP2()
+	}
+
+	// Ordering phase.
+	tStart := time.Now()
+	ptr, adj := a.AdjacencyCSR()
+	g := graph.FromCSR(a.N, ptr, adj)
+	o := order.Compute(g, opts.Ordering)
+	if err := o.Validate(a.N); err != nil {
+		return nil, err
+	}
+	pa := a.Permute(o.Perm)
+	tOrder := time.Since(tStart)
+	tStart = time.Now()
+
+	// Elimination tree, postorder (composed into the permutation), column
+	// counts, supernodes.
+	parent := etree.Build(pa)
+	post := etree.Postorder(parent)
+	pa = pa.Permute(post)
+	perm := make([]int, a.N)
+	for r, v := range post {
+		perm[r] = o.Perm[v]
+	}
+	iperm := make([]int, a.N)
+	for newI, old := range perm {
+		iperm[old] = newI
+	}
+	parent = etree.Build(pa)
+	cc := etree.ColCounts(pa, parent)
+	sn := etree.Fundamental(parent, cc)
+	sn = etree.Amalgamate(sn, parent, cc, opts.Amalgamation)
+	tTree := time.Since(tStart)
+	tStart = time.Now()
+
+	// Block repartitioning: split by blocking size, then the block symbolic
+	// factorization on the final partition.
+	sn = part.SplitRanges(sn, opts.Part)
+	if err := sn.Validate(a.N); err != nil {
+		return nil, err
+	}
+	sym := symbolic.Factor(pa, sn)
+	tSymbolic := time.Since(tStart)
+	tStart = time.Now()
+
+	// Candidate mapping and static scheduling.
+	mapping := part.Map(sym, mach, opts.P, opts.Part)
+	if err := mapping.Validate(sym.NumCB()); err != nil {
+		return nil, err
+	}
+	schedule, err := sched.Build(sym, mapping, mach, opts.Sched)
+	if err != nil {
+		return nil, err
+	}
+	tSched := time.Since(tStart)
+
+	return &Analysis{
+		A:          pa,
+		Perm:       perm,
+		IPerm:      iperm,
+		Snodes:     sn,
+		Sym:        sym,
+		Mapping:    mapping,
+		Sched:      schedule,
+		Machine:    mach,
+		ScalarNNZL: etree.NNZL(cc),
+		ScalarOPC:  etree.OPC(cc),
+		OrderTime:  tOrder, TreeTime: tTree, SymbolicTime: tSymbolic, SchedTime: tSched,
+	}, nil
+}
+
+// Factorize computes the numerical factorization: sequentially for P == 1,
+// otherwise with the schedule-driven parallel fan-in solver on P goroutine
+// processors.
+func (an *Analysis) Factorize() (*Factors, error) {
+	if an.Sched.P == 1 {
+		return FactorizeSeq(an.A, an.Sym)
+	}
+	return FactorizePar(an.A, an.Sched)
+}
+
+// SolveOriginal solves A·x = b in the ORIGINAL ordering: b is permuted in,
+// the block triangular solves run on the factor, and the solution is
+// permuted back.
+func (an *Analysis) SolveOriginal(f *Factors, b []float64) []float64 {
+	pb := make([]float64, len(b))
+	for newI, old := range an.Perm {
+		pb[newI] = b[old]
+	}
+	px := f.Solve(pb)
+	x := make([]float64, len(b))
+	for newI, old := range an.Perm {
+		x[old] = px[newI]
+	}
+	return x
+}
+
+// PredictedTime returns the modelled parallel factorization time (the static
+// schedule's replayed makespan) in seconds on the analysis machine profile.
+func (an *Analysis) PredictedTime() float64 { return an.Sched.Replay() }

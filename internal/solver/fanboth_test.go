@@ -1,0 +1,52 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"github.com/pastix-go/pastix/internal/gen"
+)
+
+// Fan-both mode (partial AUB aggregation under a memory bound) must produce
+// the same factor as pure fan-in — more messages, same numbers.
+func TestFanBothMatchesFanIn(t *testing.T) {
+	a := laplacian2D(20, 20)
+	an := analyzeFor(t, a, 4)
+	ref, err := FactorizePar(an.A, an.Sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, capBytes := range []int64{1, 1 << 10, 1 << 16} {
+		got, err := FactorizeParOpts(an.A, an.Sched, ParOptions{MaxAUBBytes: capBytes})
+		if err != nil {
+			t.Fatalf("cap=%d: %v", capBytes, err)
+		}
+		for k := range ref.Data {
+			for i := range ref.Data[k] {
+				if math.Abs(ref.Data[k][i]-got.Data[k][i]) > 1e-11*(1+math.Abs(ref.Data[k][i])) {
+					t.Fatalf("cap=%d cell %d elem %d: %g vs %g",
+						capBytes, k, i, ref.Data[k][i], got.Data[k][i])
+				}
+			}
+		}
+	}
+}
+
+func TestFanBothSolvesCorrectly(t *testing.T) {
+	p, err := gen.Generate("QUER", 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := analyzeFor(t, p.A, 8)
+	f, err := FactorizeParOpts(an.A, an.Sched, ParOptions{MaxAUBBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, b := gen.RHSForSolution(p.A)
+	got := an.SolveOriginal(f, b)
+	for i := range x {
+		if math.Abs(got[i]-x[i]) > 1e-8 {
+			t.Fatalf("x[%d]=%g want %g", i, got[i], x[i])
+		}
+	}
+}

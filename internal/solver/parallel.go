@@ -1,0 +1,681 @@
+package solver
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/pastix-go/pastix/internal/blas"
+	"github.com/pastix-go/pastix/internal/mpsim"
+	"github.com/pastix-go/pastix/internal/sched"
+	"github.com/pastix-go/pastix/internal/sparse"
+)
+
+// Message kinds of the factorization protocol (Fig. 1 of the paper).
+const (
+	msgAUB        int8 = iota // final aggregated update block: Tag = destination task
+	msgF                      // solved panel W_T: Tag = source BDIV task
+	msgDiag                   // factored diagonal block (L,D): Tag = cell
+	msgAUBPartial             // partially aggregated update block (fan-both mode)
+)
+
+// ParOptions tunes the parallel factorization runtime.
+type ParOptions struct {
+	// MaxAUBBytes bounds the memory a processor may hold in aggregation
+	// buffers. When the bound is exceeded, the largest AUB is sent with
+	// partial aggregation to free space — the paper's fan-both relaxation
+	// ("if memory is a critical issue, an aggregated update block can be
+	// sent with partial aggregation to free memory space; this is close to
+	// the Fan-Both scheme"). Zero means unbounded (pure fan-in).
+	MaxAUBBytes int64
+}
+
+// CommStats reports the communication volume of an executed parallel
+// factorization.
+type CommStats struct {
+	Messages    int64 // messages actually sent
+	Bytes       int64 // payload bytes actually sent
+	MaxInFlight int64 // peak simultaneously in-flight messages
+	// PredictedMessages is what the static schedule implies for pure fan-in:
+	// one AUB message per (source processor, destination task) pair plus the
+	// diagonal-block and panel transfers. With MaxAUBBytes unset the executed
+	// count equals this exactly.
+	PredictedMessages int64
+}
+
+// FactorizePar runs the supernodal fan-in LDLᵀ factorization on sch.P
+// goroutine processors, entirely driven by the static schedule: each
+// processor executes its K_p task vector in order, receives exactly the
+// messages the schedule predicts, aggregates non-local contributions into
+// AUBs and sends each AUB as soon as its last local contribution has been
+// added. The gathered factor equals the sequential one to rounding.
+func FactorizePar(a *sparse.SymMatrix, sch *sched.Schedule) (*Factors, error) {
+	f, _, err := FactorizeParStats(a, sch, ParOptions{})
+	return f, err
+}
+
+// FactorizeParOpts is FactorizePar with runtime options.
+func FactorizeParOpts(a *sparse.SymMatrix, sch *sched.Schedule, popts ParOptions) (*Factors, error) {
+	f, _, err := FactorizeParStats(a, sch, popts)
+	return f, err
+}
+
+// protoKey identifies an aggregation group: remote AUB contributions from
+// one source processor to one destination task.
+type protoKey struct{ sp, dt int }
+
+// protocol holds the value-independent message plan derived from a schedule;
+// the float64 and complex128 runtimes share it.
+type protocol struct {
+	contributors map[protoKey]int // remote AUB edges per (source proc, dst task)
+	nAUBmsgs     []int            // distinct remote source procs per dst task
+	sendTo       [][]int          // FACTOR: diag consumers; BDIV: F consumers (distinct remote procs)
+	needF        []bool           // BMOD: W_T arrives by message
+	needDiag     []bool           // BDIV: (L,D) arrives by message
+	predicted    int64            // total messages in pure fan-in mode
+}
+
+func buildProtocol(sch *sched.Schedule) *protocol {
+	nTasks := len(sch.Tasks)
+	pr := &protocol{
+		contributors: make(map[protoKey]int),
+		nAUBmsgs:     make([]int, nTasks),
+		sendTo:       make([][]int, nTasks),
+		needF:        make([]bool, nTasks),
+		needDiag:     make([]bool, nTasks),
+	}
+	for i := range sch.Tasks {
+		sp := sch.Tasks[i].Proc
+		seen := make(map[int]bool)
+		for _, e := range sch.Tasks[i].Outs {
+			dp := sch.Tasks[e.Dst].Proc
+			switch e.Kind {
+			case sched.EdgeAUB:
+				if dp == sp {
+					continue
+				}
+				k := protoKey{sp, e.Dst}
+				if pr.contributors[k] == 0 {
+					pr.nAUBmsgs[e.Dst]++
+				}
+				pr.contributors[k]++
+			case sched.EdgeF:
+				if dp != sp {
+					pr.needF[e.Dst] = true
+					if !seen[dp] {
+						seen[dp] = true
+						pr.sendTo[i] = append(pr.sendTo[i], dp)
+					}
+				}
+			case sched.EdgeDiag:
+				if dp != sp {
+					pr.needDiag[e.Dst] = true
+					if !seen[dp] {
+						seen[dp] = true
+						pr.sendTo[i] = append(pr.sendTo[i], dp)
+					}
+				}
+			}
+		}
+	}
+	pr.predicted = int64(len(pr.contributors))
+	for i := range sch.Tasks {
+		pr.predicted += int64(len(pr.sendTo[i]))
+	}
+	return pr
+}
+
+// FactorizeParStats is FactorizeParOpts returning communication statistics.
+func FactorizeParStats(a *sparse.SymMatrix, sch *sched.Schedule, popts ParOptions) (*Factors, CommStats, error) {
+	sym := sch.Sym()
+	P := sch.P
+	pr := buildProtocol(sch)
+	nAUBmsgs, sendTo, needF, needDiag := pr.nAUBmsgs, pr.sendTo, pr.needF, pr.needDiag
+
+	stores := make([]*Factors, P)
+	comm := mpsim.NewComm(P)
+	predicted := pr.predicted
+	runErr := comm.Run(func(p int) error {
+		st := &procState{
+			p:        p,
+			opts:     popts,
+			sch:      sch,
+			f:        NewFactorsLazy(sym),
+			comm:     comm,
+			aubBuf:   make(map[int]map[int][]float64),
+			aubRem:   make(map[int]int),
+			aubGot:   make(map[int]int),
+			fstore:   make(map[int][]float64),
+			diags:    make(map[int][]float64),
+			invd:     make(map[int][]float64),
+			nAUBmsgs: nAUBmsgs,
+			sendTo:   sendTo,
+			needF:    needF,
+			needDiag: needDiag,
+		}
+		stores[p] = st.f
+		for k, c := range pr.contributors {
+			if k.sp == p {
+				st.aubRem[k.dt] = c
+			}
+		}
+		return st.run(a)
+	})
+	msgs, bytes, inflight := comm.Stats()
+	stats := CommStats{Messages: msgs, Bytes: bytes, MaxInFlight: inflight, PredictedMessages: predicted}
+	if runErr != nil {
+		return nil, stats, runErr
+	}
+
+	// --- Gather the distributed factor into one full Factors. ---
+	g := NewFactors(sym)
+	copyCols := func(dst, src []float64, ld, rowLo, rowHi, w int) {
+		for j := 0; j < w; j++ {
+			copy(dst[rowLo+j*ld:rowHi+j*ld], src[rowLo+j*ld:rowHi+j*ld])
+		}
+	}
+	for k := range sym.CB {
+		w := sym.CB[k].Width()
+		ld := g.LD[k]
+		if id := sch.Comp1DOf[k]; id >= 0 {
+			copy(g.Data[k], stores[sch.Tasks[id].Proc].Data[k])
+			continue
+		}
+		fp := sch.Tasks[sch.FactorOf[k]].Proc
+		copyCols(g.Data[k], stores[fp].Data[k], ld, 0, w, w)
+		for b := range sym.CB[k].Blocks {
+			bp := sch.Tasks[sch.BDivOf[k][b]].Proc
+			off := g.BlockOff[k][b]
+			copyCols(g.Data[k], stores[bp].Data[k], ld, off, off+sym.CB[k].Blocks[b].Rows(), w)
+		}
+	}
+	return g, stats, nil
+}
+
+// procState is one virtual processor of the factorization.
+type procState struct {
+	p    int
+	opts ParOptions
+	sch  *sched.Schedule
+	f    *Factors
+	comm *mpsim.Comm
+
+	aubBytes int64 // bytes currently held in aggregation buffers
+
+	// aubBuf holds negated contribution accumulators per destination task,
+	// keyed inside by target region (0 = the diagonal block of the target
+	// cell, b+1 = its off-diagonal block b) — the paper's per-block AUB_jk.
+	aubBuf map[int]map[int][]float64
+	aubRem map[int]int       // dst task -> local contributions still to add
+	aubGot map[int]int       // dst task -> AUB messages received
+	fstore map[int][]float64 // BDIV task -> received W panel
+	diags  map[int][]float64 // cell -> received (L,D) diagonal block (ld = w)
+	invd   map[int][]float64 // cell -> 1/D cache
+
+	nAUBmsgs []int
+	sendTo   [][]int
+	needF    []bool
+	needDiag []bool
+}
+
+func (st *procState) run(a *sparse.SymMatrix) error {
+	sym := st.sch.Sym()
+	// Assemble the regions this processor owns.
+	for _, id := range st.sch.ByProc[st.p] {
+		t := &st.sch.Tasks[id]
+		var err error
+		switch t.Type {
+		case sched.Comp1D:
+			err = st.f.AssembleCell(a, t.Cell)
+		case sched.Factor:
+			err = st.f.AssembleDiagRegion(a, t.Cell)
+		case sched.BDiv:
+			err = st.f.AssembleBlockRegion(a, t.Cell, t.S)
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	for _, id := range st.sch.ByProc[st.p] {
+		t := &st.sch.Tasks[id]
+		if err := st.waitInputs(id); err != nil {
+			return err
+		}
+		var err error
+		switch t.Type {
+		case sched.Comp1D:
+			err = st.execComp1D(t)
+		case sched.Factor:
+			err = st.execFactor(t)
+		case sched.BDiv:
+			err = st.execBDiv(t)
+		case sched.BMod:
+			err = st.execBMod(t)
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	// Deferred panel scaling: owned 2D blocks still hold W = L·D.
+	for _, id := range st.sch.ByProc[st.p] {
+		t := &st.sch.Tasks[id]
+		if t.Type != sched.BDiv {
+			continue
+		}
+		cb := &sym.CB[t.Cell]
+		w := cb.Width()
+		d := st.cellDiagVec(t.Cell)
+		blk := cb.Blocks[t.S]
+		off := st.f.BlockOff[t.Cell][t.S]
+		blas.ScaleColumns(blk.Rows(), w, st.f.Data[t.Cell][off:], st.f.LD[t.Cell], d)
+	}
+	return nil
+}
+
+// waitInputs blocks until every message task id requires has arrived,
+// handling (and applying) messages as they come.
+func (st *procState) waitInputs(id int) error {
+	t := &st.sch.Tasks[id]
+	satisfied := func() bool {
+		if st.aubGot[id] < st.nAUBmsgs[id] {
+			return false
+		}
+		switch t.Type {
+		case sched.BDiv:
+			if st.needDiag[id] {
+				if _, ok := st.diags[t.Cell]; !ok {
+					return false
+				}
+			}
+		case sched.BMod:
+			if st.needF[id] {
+				if _, ok := st.fstore[st.sch.BDivOf[t.Cell][t.T]]; !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for !satisfied() {
+		m, err := st.comm.Recv(st.p)
+		if err != nil {
+			return err
+		}
+		if err := st.handle(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (st *procState) handle(m mpsim.Message) error {
+	switch m.Kind {
+	case msgF:
+		st.fstore[m.Tag] = m.Data
+	case msgDiag:
+		st.diags[m.Tag] = m.Data
+	case msgAUB:
+		if err := st.applyAUB(m.Tag, m.Data); err != nil {
+			return err
+		}
+		st.aubGot[m.Tag]++
+	case msgAUBPartial:
+		// Early (fan-both) flush: apply but do not count; the final message
+		// for the same destination is still to come.
+		if err := st.applyAUB(m.Tag, m.Data); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("solver: proc %d: unknown message kind %d", st.p, m.Kind)
+	}
+	return nil
+}
+
+// packAUB serializes the per-region accumulators of one destination into a
+// single message payload: [nRegions, (regionId, elems)... , payloads...].
+// Regions are sorted for determinism.
+func packAUB(regions map[int][]float64) []float64 {
+	ids := make([]int, 0, len(regions))
+	total := 0
+	for id, buf := range regions {
+		ids = append(ids, id)
+		total += len(buf)
+	}
+	sort.Ints(ids)
+	out := make([]float64, 0, 1+2*len(ids)+total)
+	out = append(out, float64(len(ids)))
+	for _, id := range ids {
+		out = append(out, float64(id), float64(len(regions[id])))
+	}
+	for _, id := range ids {
+		out = append(out, regions[id]...)
+	}
+	return out
+}
+
+// applyAUB adds a received (negated-sum, region-packed) aggregated update
+// block into the local regions of destination task dt.
+func (st *procState) applyAUB(dt int, buf []float64) error {
+	if len(buf) == 0 {
+		return nil // final message after a fan-both spill drained the buffer
+	}
+	t := &st.sch.Tasks[dt]
+	sym := st.sch.Sym()
+	cb := &sym.CB[t.Cell]
+	w := cb.Width()
+	st.f.EnsureCell(t.Cell)
+	data := st.f.Data[t.Cell]
+	ld := st.f.LD[t.Cell]
+	nr := int(buf[0])
+	if len(buf) < 1+2*nr {
+		return fmt.Errorf("solver: malformed AUB header for task %d", dt)
+	}
+	pos := 1 + 2*nr
+	for r := 0; r < nr; r++ {
+		id := int(buf[1+2*r])
+		elems := int(buf[2+2*r])
+		if pos+elems > len(buf) {
+			return fmt.Errorf("solver: truncated AUB payload for task %d", dt)
+		}
+		seg := buf[pos : pos+elems]
+		pos += elems
+		var off, rows int
+		if id == 0 {
+			off, rows = 0, w
+		} else {
+			b := id - 1
+			if b < 0 || b >= len(cb.Blocks) {
+				return fmt.Errorf("solver: AUB region %d out of range for cb %d", id, t.Cell)
+			}
+			off, rows = st.f.BlockOff[t.Cell][b], cb.Blocks[b].Rows()
+		}
+		if elems != rows*w {
+			return fmt.Errorf("solver: AUB region %d size %d != %d×%d", id, elems, rows, w)
+		}
+		for j := 0; j < w; j++ {
+			col := data[off+j*ld : off+j*ld+rows]
+			srcCol := seg[j*rows : (j+1)*rows]
+			for i := range col {
+				col[i] += srcCol[i]
+			}
+		}
+	}
+	return nil
+}
+
+// cellDiagVec returns D of cell k from the local diagonal region or the
+// received diagonal copy.
+func (st *procState) cellDiagVec(k int) []float64 {
+	w := st.sch.Sym().CB[k].Width()
+	if fid := st.sch.FactorOf[k]; fid >= 0 && st.sch.Tasks[fid].Proc != st.p {
+		buf := st.diags[k]
+		d := make([]float64, w)
+		for j := 0; j < w; j++ {
+			d[j] = buf[j+j*w]
+		}
+		return d
+	}
+	return st.f.Diag(k)
+}
+
+func (st *procState) cellInvD(k int) []float64 {
+	if v, ok := st.invd[k]; ok {
+		return v
+	}
+	d := st.cellDiagVec(k)
+	inv := make([]float64, len(d))
+	for i, x := range d {
+		inv[i] = 1 / x
+	}
+	st.invd[k] = inv
+	return inv
+}
+
+// diagRef returns the diagonal block (for TRSM) of cell k: local storage or
+// the received copy, with its leading dimension.
+func (st *procState) diagRef(k int) ([]float64, int) {
+	if fid := st.sch.FactorOf[k]; fid >= 0 && st.sch.Tasks[fid].Proc != st.p {
+		return st.diags[k], st.sch.Sym().CB[k].Width()
+	}
+	return st.f.Data[k], st.f.LD[k]
+}
+
+func (st *procState) execComp1D(t *sched.Task) error {
+	k := t.Cell
+	if err := st.f.FactorDiag(k); err != nil {
+		return err
+	}
+	st.f.SolvePanel(k)
+	d := st.f.Diag(k)
+	invd := make([]float64, len(d))
+	for i, v := range d {
+		invd[i] = 1 / v
+	}
+	sym := st.sch.Sym()
+	cb := &sym.CB[k]
+	ld := st.f.LD[k]
+	touched := map[int]bool{}
+	for ti := range cb.Blocks {
+		for si := ti; si < len(cb.Blocks); si++ {
+			dt, err := st.routePair(k, si, ti,
+				st.f.Data[k][st.f.BlockOff[k][si]:], ld,
+				st.f.Data[k][st.f.BlockOff[k][ti]:], ld, invd)
+			if err != nil {
+				return err
+			}
+			if dt >= 0 {
+				touched[dt] = true
+			}
+		}
+	}
+	st.flushAUBs(touched)
+	st.f.ScalePanel(k, d)
+	return nil
+}
+
+func (st *procState) execFactor(t *sched.Task) error {
+	k := t.Cell
+	if err := st.f.FactorDiag(k); err != nil {
+		return err
+	}
+	if dsts := st.sendTo[t.ID]; len(dsts) > 0 {
+		w := st.sch.Sym().CB[k].Width()
+		ld := st.f.LD[k]
+		buf := make([]float64, w*w)
+		for j := 0; j < w; j++ {
+			copy(buf[j*w+j:j*w+w], st.f.Data[k][j*ld+j:j*ld+w])
+		}
+		for _, q := range dsts {
+			st.comm.Send(mpsim.Message{Kind: msgDiag, Src: st.p, Dst: q, Tag: k, Data: buf})
+		}
+	}
+	return nil
+}
+
+func (st *procState) execBDiv(t *sched.Task) error {
+	k := t.Cell
+	sym := st.sch.Sym()
+	cb := &sym.CB[k]
+	w := cb.Width()
+	rb := cb.Blocks[t.S].Rows()
+	l, ldl := st.diagRef(k)
+	off := st.f.BlockOff[k][t.S]
+	blas.TrsmRightLTransUnit(rb, w, l, ldl, st.f.Data[k][off:], st.f.LD[k])
+	if dsts := st.sendTo[t.ID]; len(dsts) > 0 {
+		buf := make([]float64, rb*w)
+		for j := 0; j < w; j++ {
+			copy(buf[j*rb:(j+1)*rb], st.f.Data[k][off+j*st.f.LD[k]:off+j*st.f.LD[k]+rb])
+		}
+		for _, q := range dsts {
+			st.comm.Send(mpsim.Message{Kind: msgF, Src: st.p, Dst: q, Tag: t.ID, Data: buf})
+		}
+	}
+	return nil
+}
+
+func (st *procState) execBMod(t *sched.Task) error {
+	k := t.Cell
+	sym := st.sch.Sym()
+	cb := &sym.CB[k]
+	ldk := st.f.LD[k]
+	ws := st.f.Data[k][st.f.BlockOff[k][t.S]:]
+	var wt []float64
+	var ldt int
+	bdivT := st.sch.BDivOf[k][t.T]
+	if st.sch.Tasks[bdivT].Proc == st.p {
+		wt = st.f.Data[k][st.f.BlockOff[k][t.T]:]
+		ldt = ldk
+	} else {
+		wt = st.fstore[bdivT]
+		ldt = cb.Blocks[t.T].Rows()
+	}
+	dt, err := st.routePair(k, t.S, t.T, ws, ldk, wt, ldt, st.cellInvD(k))
+	if err != nil {
+		return err
+	}
+	if dt >= 0 {
+		st.flushAUBs(map[int]bool{dt: true})
+	}
+	return nil
+}
+
+// routePair computes the (s,t) contribution of cell k from W_s (lda) and
+// W_t (ldb) and either subtracts it directly from the locally owned target
+// region or accumulates it (negated) into the AUB for the destination task.
+// It returns the destination task id when the contribution was remote (so
+// the caller can decrement the AUB countdown), -1 otherwise.
+func (st *procState) routePair(k, s, t int, ws []float64, lda int, wt []float64, ldb int, invd []float64) (int, error) {
+	sym := st.sch.Sym()
+	cb := &sym.CB[k]
+	w := cb.Width()
+	bs := &cb.Blocks[s]
+	bt := &cb.Blocks[t]
+	rs := bs.Rows()
+	rt := bt.Rows()
+	fcell := bt.Facing
+	fcb := &sym.CB[fcell]
+
+	// Destination task.
+	var dt int
+	switch {
+	case st.sch.Comp1DOf[fcell] >= 0:
+		dt = st.sch.Comp1DOf[fcell]
+	case bs.Facing == fcell:
+		dt = st.sch.FactorOf[fcell]
+	default:
+		b := st.f.BlockContaining(fcell, bs.FirstRow, bs.LastRow)
+		if b < 0 {
+			return -1, fmt.Errorf("solver: rows [%d,%d) of cb %d not in cb %d", bs.FirstRow, bs.LastRow, k, fcell)
+		}
+		dt = st.sch.BDivOf[fcell][b]
+	}
+	dtask := &st.sch.Tasks[dt]
+	lc := bt.FirstRow - fcb.Cols[0]
+
+	var dst []float64
+	var ldc int
+	if dtask.Proc == st.p {
+		// Direct local subtraction into the owned region, cell coordinates.
+		st.f.EnsureCell(fcell)
+		lr := st.f.LocateRow(fcell, bs.FirstRow)
+		ldc = st.f.LD[fcell]
+		dst = st.f.Data[fcell][lr+lc*ldc:]
+	} else {
+		// Accumulate into the per-region AUB of the destination task: the
+		// region is the target cell's diagonal block (id 0) when the rows lie
+		// in its columns, otherwise the off-diagonal block covering them
+		// (id b+1) — the paper's AUB_jk granularity.
+		region, lr, rows := 0, bs.FirstRow-fcb.Cols[0], fcb.Width()
+		if bs.Facing != fcell {
+			shape := &Factors{Sym: sym, LD: st.f.LD, BlockOff: st.f.BlockOff}
+			b := shape.BlockContaining(fcell, bs.FirstRow, bs.LastRow)
+			if b < 0 {
+				return -1, fmt.Errorf("solver: AUB rows [%d,%d) not in one block of cb %d", bs.FirstRow, bs.LastRow, fcell)
+			}
+			fb := &fcb.Blocks[b]
+			region, lr, rows = b+1, bs.FirstRow-fb.FirstRow, fb.Rows()
+		}
+		regions := st.aubBuf[dt]
+		if regions == nil {
+			regions = make(map[int][]float64)
+			st.aubBuf[dt] = regions
+		}
+		buf := regions[region]
+		if buf == nil {
+			buf = make([]float64, rows*fcb.Width())
+			regions[region] = buf
+			st.aubBytes += int64(len(buf)) * 8
+			st.spill(dt)
+		}
+		ldc = rows
+		dst = buf[lr+lc*ldc:]
+	}
+	if s == t {
+		blas.SyrkLowerNDT(rs, w, ws, lda, invd, dst, ldc)
+	} else {
+		blas.GemmNDTAuto(rs, rt, w, ws, lda, invd, wt, ldb, dst, ldc)
+	}
+	if dtask.Proc == st.p {
+		return -1, nil
+	}
+	return dt, nil
+}
+
+// regionsSize returns the accumulated elements of one destination's regions.
+func regionsSize(regions map[int][]float64) int {
+	t := 0
+	for _, b := range regions {
+		t += len(b)
+	}
+	return t
+}
+
+// flushAUBs decrements the countdown of each touched remote destination and
+// sends the AUB as soon as it is complete ("if ready, send" in Fig. 1). The
+// final message is sent even when the buffer was already spilled (fan-both):
+// the receiver counts only final messages.
+func (st *procState) flushAUBs(touched map[int]bool) {
+	for dt := range touched {
+		st.aubRem[dt]--
+		if st.aubRem[dt] == 0 {
+			regions := st.aubBuf[dt]
+			delete(st.aubBuf, dt)
+			delete(st.aubRem, dt)
+			var data []float64
+			if len(regions) > 0 {
+				st.aubBytes -= int64(regionsSize(regions)) * 8
+				data = packAUB(regions)
+			}
+			st.comm.Send(mpsim.Message{
+				Kind: msgAUB, Src: st.p, Dst: st.sch.Tasks[dt].Proc, Tag: dt, Data: data,
+			})
+		}
+	}
+}
+
+// spill enforces the fan-both memory bound: while aggregation buffers exceed
+// MaxAUBBytes, the largest buffer other than keep is sent with partial
+// aggregation and freed.
+func (st *procState) spill(keep int) {
+	if st.opts.MaxAUBBytes <= 0 {
+		return
+	}
+	for st.aubBytes > st.opts.MaxAUBBytes {
+		victim, size := -1, 0
+		for dt, regions := range st.aubBuf {
+			if s := regionsSize(regions); dt != keep && s > size {
+				victim, size = dt, s
+			}
+		}
+		if victim < 0 {
+			return // nothing else to spill; the bound is best-effort
+		}
+		regions := st.aubBuf[victim]
+		delete(st.aubBuf, victim)
+		st.aubBytes -= int64(regionsSize(regions)) * 8
+		st.comm.Send(mpsim.Message{
+			Kind: msgAUBPartial, Src: st.p, Dst: st.sch.Tasks[victim].Proc, Tag: victim, Data: packAUB(regions),
+		})
+	}
+}

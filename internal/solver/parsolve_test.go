@@ -1,0 +1,98 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"github.com/pastix-go/pastix/internal/gen"
+)
+
+func TestSolveParMatchesSequential(t *testing.T) {
+	a := laplacian2D(22, 22)
+	for _, P := range []int{2, 3, 4, 8} {
+		an := analyzeFor(t, a, P)
+		f, err := FactorizePar(an.A, an.Sched)
+		if err != nil {
+			t.Fatalf("P=%d: %v", P, err)
+		}
+		_, b := gen.RHSForSolution(a)
+		pb := make([]float64, len(b))
+		for newI, old := range an.Perm {
+			pb[newI] = b[old]
+		}
+		want := f.Solve(pb)
+		got, err := SolvePar(an.Sched, f, pb)
+		if err != nil {
+			t.Fatalf("P=%d: %v", P, err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-11*(1+math.Abs(want[i])) {
+				t.Fatalf("P=%d: x[%d]=%g want %g", P, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSolveParOnGeneratedProblems(t *testing.T) {
+	for _, name := range []string{"THREAD", "QUER"} {
+		p, err := gen.Generate(name, 0.03)
+		if err != nil {
+			t.Fatal(err)
+		}
+		an := analyzeFor(t, p.A, 4)
+		f, err := an.Factorize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, b := gen.RHSForSolution(p.A)
+		pb := make([]float64, len(b))
+		for newI, old := range an.Perm {
+			pb[newI] = b[old]
+		}
+		px, err := SolvePar(an.Sched, f, pb)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for newI, old := range an.Perm {
+			if math.Abs(px[newI]-x[old]) > 1e-8 {
+				t.Fatalf("%s: x mismatch at %d", name, old)
+			}
+		}
+	}
+}
+
+func TestSolveParSingleProc(t *testing.T) {
+	a := laplacian2D(9, 9)
+	an := analyzeFor(t, a, 1)
+	f, err := an.Factorize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b := gen.RHSForSolution(a)
+	pb := make([]float64, len(b))
+	for newI, old := range an.Perm {
+		pb[newI] = b[old]
+	}
+	want := f.Solve(pb)
+	got, err := SolvePar(an.Sched, f, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("x[%d] differs", i)
+		}
+	}
+}
+
+func TestSolveParBadRHS(t *testing.T) {
+	a := laplacian2D(6, 6)
+	an := analyzeFor(t, a, 2)
+	f, err := an.Factorize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SolvePar(an.Sched, f, make([]float64, 5)); err == nil {
+		t.Fatal("expected rhs-length error")
+	}
+}

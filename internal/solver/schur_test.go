@@ -1,0 +1,131 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"github.com/pastix-go/pastix/internal/blas"
+	"github.com/pastix-go/pastix/internal/order"
+	"github.com/pastix-go/pastix/internal/part"
+)
+
+// denseSchur computes S = A_ss − A_si·A_ii⁻¹·A_is by dense elimination of
+// the interior unknowns (oracle).
+func denseSchur(t *testing.T, a [][]float64, schur []int) []float64 {
+	t.Helper()
+	n := len(a)
+	isSchur := make([]bool, n)
+	for _, v := range schur {
+		isSchur[v] = true
+	}
+	// Dense copy, eliminate interior pivots in index order.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append([]float64(nil), a[i]...)
+	}
+	for k := 0; k < n; k++ {
+		if isSchur[k] {
+			continue
+		}
+		piv := m[k][k]
+		for i := 0; i < n; i++ {
+			if i == k || (!isSchur[i] && i < k) || m[i][k] == 0 {
+				continue
+			}
+			r := m[i][k] / piv
+			for j := 0; j < n; j++ {
+				m[i][j] -= r * m[k][j]
+			}
+		}
+	}
+	ns := len(schur)
+	s := make([]float64, ns*ns)
+	for i, gi := range schur {
+		for j, gj := range schur {
+			s[i+j*ns] = m[gi][gj]
+		}
+	}
+	return s
+}
+
+func TestSchurAgainstDenseOracle(t *testing.T) {
+	a := laplacian2D(9, 9)
+	// Schur set: the middle grid column (a natural interface).
+	var schurVars []int
+	for j := 0; j < 9; j++ {
+		schurVars = append(schurVars, 4+j*9)
+	}
+	san, err := AnalyzeSchur(a, schurVars, Options{
+		Ordering: order.Options{Method: order.ScotchLike, LeafSize: 20},
+		Part:     part.Options{BlockSize: 12},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s, err := san.FactorizeSchur()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := len(schurVars)
+	if len(s) != ns*ns {
+		t.Fatalf("schur size %d", len(s))
+	}
+	// Dense oracle over the ORIGINAL matrix with the ordered Schur list.
+	dense := make([][]float64, a.N)
+	flat := a.Dense()
+	for i := range dense {
+		dense[i] = flat[i*a.N : (i+1)*a.N]
+	}
+	want := denseSchur(t, dense, san.SchurVars)
+	for i := range s {
+		if math.Abs(s[i]-want[i]) > 1e-8*(1+math.Abs(want[i])) {
+			t.Fatalf("S[%d]=%g want %g", i, s[i], want[i])
+		}
+	}
+	// S must be SPD for an SPD A: factor it densely.
+	sc := append([]float64(nil), s...)
+	if err := blas.Cholesky(ns, sc, ns); err != nil {
+		t.Fatalf("schur complement not SPD: %v", err)
+	}
+}
+
+func TestSchurErrors(t *testing.T) {
+	a := laplacian2D(4, 4)
+	if _, err := AnalyzeSchur(a, nil, Options{}); err == nil {
+		t.Fatal("empty schur set must error")
+	}
+	if _, err := AnalyzeSchur(a, []int{99}, Options{}); err == nil {
+		t.Fatal("out of range must error")
+	}
+	if _, err := AnalyzeSchur(a, []int{1, 1}, Options{}); err == nil {
+		t.Fatal("duplicate must error")
+	}
+	all := make([]int, a.N)
+	for i := range all {
+		all[i] = i
+	}
+	if _, err := AnalyzeSchur(a, all, Options{}); err == nil {
+		t.Fatal("full set must error")
+	}
+}
+
+func TestSchurVarsOrderMatchesMatrix(t *testing.T) {
+	a := laplacian2D(6, 6)
+	schurVars := []int{35, 3, 17} // unsorted on purpose
+	san, err := AnalyzeSchur(a, schurVars, Options{Ordering: order.Options{LeafSize: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(san.SchurVars) != 3 {
+		t.Fatal("schur vars lost")
+	}
+	seen := map[int]bool{}
+	for _, v := range san.SchurVars {
+		seen[v] = true
+	}
+	for _, v := range schurVars {
+		if !seen[v] {
+			t.Fatalf("schur var %d missing from result order", v)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Package solver is the PaStiX core: it assembles the block factor storage,
+// runs the LDLᵀ factorization — sequentially as a reference, or in parallel
+// with the paper's supernodal fan-in algorithm driven entirely by the static
+// schedule (Fig. 1) — and performs the triangular solves.
+package solver
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/pastix-go/pastix/internal/blas"
+	"github.com/pastix-go/pastix/internal/sparse"
+	"github.com/pastix-go/pastix/internal/symbolic"
+)
+
+// Factors holds the block factor L and diagonal D. Each column block k is a
+// column-major dense array of LD[k] rows × Width(k) columns: rows [0,w) are
+// the diagonal block (strictly-lower part = unit-lower L, diagonal = D), and
+// each off-diagonal block b occupies rows [BlockOff[k][b],
+// BlockOff[k][b]+rows(b)).
+type Factors struct {
+	Sym      *symbolic.Symbol
+	Data     [][]float64
+	LD       []int
+	BlockOff [][]int
+}
+
+// NewFactors allocates zeroed storage for every column block of sym.
+func NewFactors(sym *symbolic.Symbol) *Factors {
+	f := NewFactorsLazy(sym)
+	for k := range sym.CB {
+		f.EnsureCell(k)
+	}
+	return f
+}
+
+// NewFactorsLazy prepares the shape tables without allocating cell data;
+// parallel processors allocate only the cells they own parts of.
+func NewFactorsLazy(sym *symbolic.Symbol) *Factors {
+	ncb := sym.NumCB()
+	f := &Factors{
+		Sym:      sym,
+		Data:     make([][]float64, ncb),
+		LD:       make([]int, ncb),
+		BlockOff: make([][]int, ncb),
+	}
+	for k := range sym.CB {
+		cb := &sym.CB[k]
+		w := cb.Width()
+		off := make([]int, len(cb.Blocks))
+		pos := w
+		for b := range cb.Blocks {
+			off[b] = pos
+			pos += cb.Blocks[b].Rows()
+		}
+		f.LD[k] = pos
+		f.BlockOff[k] = off
+	}
+	return f
+}
+
+// EnsureCell allocates cell k's array if absent.
+func (f *Factors) EnsureCell(k int) {
+	if f.Data[k] == nil {
+		f.Data[k] = make([]float64, f.LD[k]*f.Sym.CB[k].Width())
+	}
+}
+
+// LocateRow maps a global row index to the local row offset inside cell k's
+// array, or -1 when the row is not in k's structure.
+func (f *Factors) LocateRow(k, row int) int {
+	cb := &f.Sym.CB[k]
+	if row >= cb.Cols[0] && row < cb.Cols[1] {
+		return row - cb.Cols[0]
+	}
+	blocks := cb.Blocks
+	i := sort.Search(len(blocks), func(b int) bool { return blocks[b].LastRow > row })
+	if i < len(blocks) && blocks[i].FirstRow <= row {
+		return f.BlockOff[k][i] + row - blocks[i].FirstRow
+	}
+	return -1
+}
+
+// BlockContaining returns the index of the off-diagonal block of cell k
+// containing rows [lo,hi), or -1.
+func (f *Factors) BlockContaining(k, lo, hi int) int {
+	blocks := f.Sym.CB[k].Blocks
+	i := sort.Search(len(blocks), func(b int) bool { return blocks[b].LastRow > lo })
+	if i < len(blocks) && blocks[i].FirstRow <= lo && blocks[i].LastRow >= hi {
+		return i
+	}
+	return -1
+}
+
+// AssembleCell scatters the entries of the permuted matrix a belonging to
+// cell k into the cell's array. Rows outside the symbolic structure are an
+// error (the structure must cover the matrix).
+func (f *Factors) AssembleCell(a *sparse.SymMatrix, k int) error {
+	f.EnsureCell(k)
+	cb := &f.Sym.CB[k]
+	ld := f.LD[k]
+	data := f.Data[k]
+	for j := cb.Cols[0]; j < cb.Cols[1]; j++ {
+		lc := j - cb.Cols[0]
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			i := a.RowIdx[p]
+			lr := f.LocateRow(k, i)
+			if lr < 0 {
+				return fmt.Errorf("solver: entry (%d,%d) outside symbolic structure of cb %d", i, j, k)
+			}
+			data[lr+lc*ld] = a.Val[p]
+		}
+	}
+	return nil
+}
+
+// AssembleDiagRegion scatters only the diagonal-block entries of cell k
+// (used by the processor owning FACTOR(k) in 2D distribution).
+func (f *Factors) AssembleDiagRegion(a *sparse.SymMatrix, k int) error {
+	f.EnsureCell(k)
+	cb := &f.Sym.CB[k]
+	ld := f.LD[k]
+	data := f.Data[k]
+	for j := cb.Cols[0]; j < cb.Cols[1]; j++ {
+		lc := j - cb.Cols[0]
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			i := a.RowIdx[p]
+			if i >= cb.Cols[1] {
+				break
+			}
+			data[(i-cb.Cols[0])+lc*ld] = a.Val[p]
+		}
+	}
+	return nil
+}
+
+// AssembleBlockRegion scatters only block b's entries of cell k (used by the
+// processor owning BDIV(b,k)).
+func (f *Factors) AssembleBlockRegion(a *sparse.SymMatrix, k, b int) error {
+	f.EnsureCell(k)
+	cb := &f.Sym.CB[k]
+	blk := cb.Blocks[b]
+	ld := f.LD[k]
+	data := f.Data[k]
+	off := f.BlockOff[k][b]
+	for j := cb.Cols[0]; j < cb.Cols[1]; j++ {
+		lc := j - cb.Cols[0]
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			i := a.RowIdx[p]
+			if i < blk.FirstRow {
+				continue
+			}
+			if i >= blk.LastRow {
+				break
+			}
+			data[off+(i-blk.FirstRow)+lc*ld] = a.Val[p]
+		}
+	}
+	return nil
+}
+
+// Diag returns the diagonal vector D of cell k (aliasing storage is avoided:
+// a copy is returned).
+func (f *Factors) Diag(k int) []float64 {
+	cb := &f.Sym.CB[k]
+	w := cb.Width()
+	d := make([]float64, w)
+	ld := f.LD[k]
+	for j := 0; j < w; j++ {
+		d[j] = f.Data[k][j+j*ld]
+	}
+	return d
+}
+
+// NNZ returns the allocated factor entries (block model).
+func (f *Factors) NNZ() int64 {
+	var t int64
+	for k := range f.Data {
+		if f.Data[k] != nil {
+			t += int64(len(f.Data[k]))
+		}
+	}
+	return t
+}
+
+// FactorDiag factors cell k's diagonal block in place (dense LDLᵀ).
+func (f *Factors) FactorDiag(k int) error {
+	w := f.Sym.CB[k].Width()
+	if err := blas.LDLT(w, f.Data[k], f.LD[k]); err != nil {
+		return fmt.Errorf("solver: cb %d: %w", k, err)
+	}
+	return nil
+}
+
+// SolvePanel computes W = A_panel · L_kk^{-ᵀ} in place over the whole
+// off-diagonal panel of cell k (the result is W = L·D, not yet scaled).
+func (f *Factors) SolvePanel(k int) {
+	cb := &f.Sym.CB[k]
+	w := cb.Width()
+	r := cb.RowsBelow()
+	if r == 0 {
+		return
+	}
+	ld := f.LD[k]
+	blas.TrsmRightLTransUnit(r, w, f.Data[k], ld, f.Data[k][w:], ld)
+}
+
+// ScalePanel divides the panel columns by D, turning W into L.
+func (f *Factors) ScalePanel(k int, d []float64) {
+	cb := &f.Sym.CB[k]
+	w := cb.Width()
+	r := cb.RowsBelow()
+	if r == 0 {
+		return
+	}
+	ld := f.LD[k]
+	blas.ScaleColumns(r, w, f.Data[k][w:], ld, d)
+}

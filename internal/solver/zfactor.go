@@ -1,0 +1,191 @@
+package solver
+
+import (
+	"fmt"
+
+	"github.com/pastix-go/pastix/internal/blas"
+	"github.com/pastix-go/pastix/internal/sparse"
+	"github.com/pastix-go/pastix/internal/symbolic"
+)
+
+// ZFactors is the complex-symmetric counterpart of Factors: the LDLᵀ factor
+// of a complex symmetric matrix in the same block layout (unit-lower complex
+// L, complex diagonal D). The analysis (ordering, symbolic structure,
+// schedule) is shared with the real path: it is computed on the sparsity
+// pattern and is value-type independent.
+type ZFactors struct {
+	Sym      *symbolic.Symbol
+	Data     [][]complex128
+	LD       []int
+	BlockOff [][]int
+}
+
+// NewZFactors allocates zeroed complex storage for every column block.
+func NewZFactors(sym *symbolic.Symbol) *ZFactors {
+	f := NewZFactorsLazy(sym)
+	for k := range sym.CB {
+		f.EnsureCell(k)
+	}
+	return f
+}
+
+// NewZFactorsLazy prepares the shape tables without allocating cell data.
+func NewZFactorsLazy(sym *symbolic.Symbol) *ZFactors {
+	shape := NewFactorsLazy(sym) // shapes are value-type independent
+	return &ZFactors{
+		Sym:      sym,
+		Data:     make([][]complex128, sym.NumCB()),
+		LD:       shape.LD,
+		BlockOff: shape.BlockOff,
+	}
+}
+
+// EnsureCell allocates cell k's array if absent.
+func (f *ZFactors) EnsureCell(k int) {
+	if f.Data[k] == nil {
+		f.Data[k] = make([]complex128, f.LD[k]*f.Sym.CB[k].Width())
+	}
+}
+
+// LocateRow maps a global row to the local row offset in cell k (-1 when
+// outside the structure).
+func (f *ZFactors) LocateRow(k, row int) int {
+	return (&Factors{Sym: f.Sym, LD: f.LD, BlockOff: f.BlockOff}).LocateRow(k, row)
+}
+
+// AssembleCell scatters the complex matrix entries of cell k.
+func (f *ZFactors) AssembleCell(a *sparse.ZSymMatrix, k int) error {
+	f.EnsureCell(k)
+	cb := &f.Sym.CB[k]
+	ld := f.LD[k]
+	data := f.Data[k]
+	shape := &Factors{Sym: f.Sym, LD: f.LD, BlockOff: f.BlockOff}
+	for j := cb.Cols[0]; j < cb.Cols[1]; j++ {
+		lc := j - cb.Cols[0]
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			i := a.RowIdx[p]
+			lr := shape.LocateRow(k, i)
+			if lr < 0 {
+				return fmt.Errorf("solver: complex entry (%d,%d) outside structure of cb %d", i, j, k)
+			}
+			data[lr+lc*ld] = a.Val[p]
+		}
+	}
+	return nil
+}
+
+// Diag returns a copy of cell k's diagonal D.
+func (f *ZFactors) Diag(k int) []complex128 {
+	w := f.Sym.CB[k].Width()
+	d := make([]complex128, w)
+	ld := f.LD[k]
+	for j := 0; j < w; j++ {
+		d[j] = f.Data[k][j+j*ld]
+	}
+	return d
+}
+
+// FactorizeZSeq runs the sequential complex symmetric supernodal LDLᵀ
+// factorization on the structure of an existing analysis. az must have
+// exactly the sparsity pattern the analysis was computed from (use
+// ZSymMatrix.Pattern for Analyze), already permuted by an.Perm.
+func FactorizeZSeq(az *sparse.ZSymMatrix, sym *symbolic.Symbol) (*ZFactors, error) {
+	f := NewZFactors(sym)
+	for k := range sym.CB {
+		if err := f.AssembleCell(az, k); err != nil {
+			return nil, err
+		}
+	}
+	for k := range sym.CB {
+		cb := &sym.CB[k]
+		w := cb.Width()
+		ld := f.LD[k]
+		if err := blas.ZLDLT(w, f.Data[k], ld); err != nil {
+			return nil, fmt.Errorf("solver: cb %d: %w", k, err)
+		}
+		r := cb.RowsBelow()
+		if r > 0 {
+			blas.ZTrsmRightLTransUnit(r, w, f.Data[k], ld, f.Data[k][w:], ld)
+		}
+		d := f.Diag(k)
+		invd := make([]complex128, len(d))
+		for i, v := range d {
+			invd[i] = 1 / v
+		}
+		if err := f.applyCellUpdates(k, invd); err != nil {
+			return nil, err
+		}
+		if r > 0 {
+			blas.ZScaleColumns(r, w, f.Data[k][w:], ld, d)
+		}
+	}
+	return f, nil
+}
+
+func (f *ZFactors) applyCellUpdates(k int, invd []complex128) error {
+	sym := f.Sym
+	cb := &sym.CB[k]
+	w := cb.Width()
+	ld := f.LD[k]
+	data := f.Data[k]
+	shape := &Factors{Sym: sym, LD: f.LD, BlockOff: f.BlockOff}
+	for t := range cb.Blocks {
+		rt := cb.Blocks[t].Rows()
+		wt := data[f.BlockOff[k][t]:]
+		for s := t; s < len(cb.Blocks); s++ {
+			rs := cb.Blocks[s].Rows()
+			fcell, off, err := targetOffset(shape, k, s, t)
+			if err != nil {
+				return err
+			}
+			f.EnsureCell(fcell)
+			dst := f.Data[fcell][off:]
+			ldf := f.LD[fcell]
+			ws := data[f.BlockOff[k][s]:]
+			if s == t {
+				blas.ZSyrkLowerNDT(rs, w, ws, ld, invd, dst, ldf)
+			} else {
+				blas.ZGemmNDT(rs, rt, w, ws, ld, invd, wt, ld, dst, ldf)
+			}
+		}
+	}
+	return nil
+}
+
+// Solve solves A·x = b (permuted ordering) with the complex factor.
+func (f *ZFactors) Solve(b []complex128) []complex128 {
+	sym := f.Sym
+	x := append([]complex128(nil), b...)
+	for k := range sym.CB {
+		cb := &sym.CB[k]
+		w := cb.Width()
+		ld := f.LD[k]
+		xk := x[cb.Cols[0]:cb.Cols[1]]
+		blas.ZTrsvLowerUnit(w, f.Data[k], ld, xk)
+		for bi := range cb.Blocks {
+			blk := &cb.Blocks[bi]
+			blas.ZGemvN(blk.Rows(), w, f.Data[k][f.BlockOff[k][bi]:], ld,
+				xk, x[blk.FirstRow:blk.LastRow])
+		}
+	}
+	for k := range sym.CB {
+		cb := &sym.CB[k]
+		ld := f.LD[k]
+		for j := 0; j < cb.Width(); j++ {
+			x[cb.Cols[0]+j] /= f.Data[k][j+j*ld]
+		}
+	}
+	for k := len(sym.CB) - 1; k >= 0; k-- {
+		cb := &sym.CB[k]
+		w := cb.Width()
+		ld := f.LD[k]
+		xk := x[cb.Cols[0]:cb.Cols[1]]
+		for bi := range cb.Blocks {
+			blk := &cb.Blocks[bi]
+			blas.ZGemvT(blk.Rows(), w, f.Data[k][f.BlockOff[k][bi]:], ld,
+				x[blk.FirstRow:blk.LastRow], xk)
+		}
+		blas.ZTrsvLowerTransUnit(w, f.Data[k], ld, xk)
+	}
+	return x
+}

@@ -1,0 +1,516 @@
+package solver
+
+import (
+	"fmt"
+
+	"github.com/pastix-go/pastix/internal/blas"
+	"github.com/pastix-go/pastix/internal/mpsim"
+	"github.com/pastix-go/pastix/internal/sched"
+	"github.com/pastix-go/pastix/internal/sparse"
+)
+
+// Complex parallel factorization: the same Fig. 1 fan-in protocol as the
+// float64 runtime (identical message plan, built by buildProtocol), with
+// complex payloads interleaved into the float64 message buffers.
+
+func zToFloats(z []complex128) []float64 {
+	f := make([]float64, 2*len(z))
+	for i, v := range z {
+		f[2*i] = real(v)
+		f[2*i+1] = imag(v)
+	}
+	return f
+}
+
+func floatsToZ(f []float64) []complex128 {
+	z := make([]complex128, len(f)/2)
+	for i := range z {
+		z[i] = complex(f[2*i], f[2*i+1])
+	}
+	return z
+}
+
+// FactorizeZPar runs the complex symmetric fan-in LDLᵀ factorization on
+// sch.P goroutine processors. az is the permuted complex matrix whose
+// pattern matches the analysis.
+func FactorizeZPar(az *sparse.ZSymMatrix, sch *sched.Schedule) (*ZFactors, error) {
+	sym := sch.Sym()
+	P := sch.P
+	pr := buildProtocol(sch)
+
+	stores := make([]*ZFactors, P)
+	comm := mpsim.NewComm(P)
+	runErr := comm.Run(func(p int) error {
+		st := &zProcState{
+			p:      p,
+			sch:    sch,
+			f:      NewZFactorsLazy(sym),
+			comm:   comm,
+			pr:     pr,
+			aubBuf: make(map[int][]complex128),
+			aubRem: make(map[int]int),
+			aubGot: make(map[int]int),
+			fstore: make(map[int][]complex128),
+			diags:  make(map[int][]complex128),
+			invd:   make(map[int][]complex128),
+		}
+		stores[p] = st.f
+		for k, c := range pr.contributors {
+			if k.sp == p {
+				st.aubRem[k.dt] = c
+			}
+		}
+		return st.run(az)
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	g := NewZFactors(sym)
+	copyCols := func(dst, src []complex128, ld, rowLo, rowHi, w int) {
+		for j := 0; j < w; j++ {
+			copy(dst[rowLo+j*ld:rowHi+j*ld], src[rowLo+j*ld:rowHi+j*ld])
+		}
+	}
+	for k := range sym.CB {
+		w := sym.CB[k].Width()
+		ld := g.LD[k]
+		if id := sch.Comp1DOf[k]; id >= 0 {
+			copy(g.Data[k], stores[sch.Tasks[id].Proc].Data[k])
+			continue
+		}
+		fp := sch.Tasks[sch.FactorOf[k]].Proc
+		copyCols(g.Data[k], stores[fp].Data[k], ld, 0, w, w)
+		for b := range sym.CB[k].Blocks {
+			bp := sch.Tasks[sch.BDivOf[k][b]].Proc
+			off := g.BlockOff[k][b]
+			copyCols(g.Data[k], stores[bp].Data[k], ld, off, off+sym.CB[k].Blocks[b].Rows(), w)
+		}
+	}
+	return g, nil
+}
+
+type zProcState struct {
+	p    int
+	sch  *sched.Schedule
+	f    *ZFactors
+	comm *mpsim.Comm
+	pr   *protocol
+
+	aubBuf map[int][]complex128
+	aubRem map[int]int
+	aubGot map[int]int
+	fstore map[int][]complex128
+	diags  map[int][]complex128
+	invd   map[int][]complex128
+}
+
+func (st *zProcState) shape() *Factors {
+	return &Factors{Sym: st.f.Sym, LD: st.f.LD, BlockOff: st.f.BlockOff}
+}
+
+func (st *zProcState) run(az *sparse.ZSymMatrix) error {
+	sym := st.sch.Sym()
+	shape := st.shape()
+	// Assemble owned regions.
+	for _, id := range st.sch.ByProc[st.p] {
+		t := &st.sch.Tasks[id]
+		switch t.Type {
+		case sched.Comp1D:
+			if err := st.f.AssembleCell(az, t.Cell); err != nil {
+				return err
+			}
+		case sched.Factor:
+			st.f.EnsureCell(t.Cell)
+			cb := &sym.CB[t.Cell]
+			ld := st.f.LD[t.Cell]
+			for j := cb.Cols[0]; j < cb.Cols[1]; j++ {
+				lc := j - cb.Cols[0]
+				for p := az.ColPtr[j]; p < az.ColPtr[j+1]; p++ {
+					i := az.RowIdx[p]
+					if i >= cb.Cols[1] {
+						break
+					}
+					st.f.Data[t.Cell][(i-cb.Cols[0])+lc*ld] = az.Val[p]
+				}
+			}
+		case sched.BDiv:
+			st.f.EnsureCell(t.Cell)
+			cb := &sym.CB[t.Cell]
+			blk := cb.Blocks[t.S]
+			ld := st.f.LD[t.Cell]
+			off := st.f.BlockOff[t.Cell][t.S]
+			for j := cb.Cols[0]; j < cb.Cols[1]; j++ {
+				lc := j - cb.Cols[0]
+				for p := az.ColPtr[j]; p < az.ColPtr[j+1]; p++ {
+					i := az.RowIdx[p]
+					if i < blk.FirstRow {
+						continue
+					}
+					if i >= blk.LastRow {
+						break
+					}
+					st.f.Data[t.Cell][off+(i-blk.FirstRow)+lc*ld] = az.Val[p]
+				}
+			}
+		}
+	}
+
+	for _, id := range st.sch.ByProc[st.p] {
+		t := &st.sch.Tasks[id]
+		if err := st.waitInputs(id); err != nil {
+			return err
+		}
+		var err error
+		switch t.Type {
+		case sched.Comp1D:
+			err = st.execComp1D(t)
+		case sched.Factor:
+			err = st.execFactor(t)
+		case sched.BDiv:
+			err = st.execBDiv(t)
+		case sched.BMod:
+			err = st.execBMod(t)
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	// Deferred panel scaling.
+	for _, id := range st.sch.ByProc[st.p] {
+		t := &st.sch.Tasks[id]
+		if t.Type != sched.BDiv {
+			continue
+		}
+		cb := &sym.CB[t.Cell]
+		w := cb.Width()
+		d := st.cellDiagVec(t.Cell)
+		blk := cb.Blocks[t.S]
+		off := st.f.BlockOff[t.Cell][t.S]
+		blas.ZScaleColumns(blk.Rows(), w, st.f.Data[t.Cell][off:], st.f.LD[t.Cell], d)
+	}
+	_ = shape
+	return nil
+}
+
+func (st *zProcState) waitInputs(id int) error {
+	t := &st.sch.Tasks[id]
+	satisfied := func() bool {
+		if st.aubGot[id] < st.pr.nAUBmsgs[id] {
+			return false
+		}
+		switch t.Type {
+		case sched.BDiv:
+			if st.pr.needDiag[id] {
+				if _, ok := st.diags[t.Cell]; !ok {
+					return false
+				}
+			}
+		case sched.BMod:
+			if st.pr.needF[id] {
+				if _, ok := st.fstore[st.sch.BDivOf[t.Cell][t.T]]; !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for !satisfied() {
+		m, err := st.comm.Recv(st.p)
+		if err != nil {
+			return err
+		}
+		switch m.Kind {
+		case msgF:
+			st.fstore[m.Tag] = floatsToZ(m.Data)
+		case msgDiag:
+			st.diags[m.Tag] = floatsToZ(m.Data)
+		case msgAUB:
+			if err := st.applyAUB(m.Tag, floatsToZ(m.Data)); err != nil {
+				return err
+			}
+			st.aubGot[m.Tag]++
+		default:
+			return fmt.Errorf("solver: zproc %d: unknown message kind %d", st.p, m.Kind)
+		}
+	}
+	return nil
+}
+
+func (st *zProcState) applyAUB(dt int, buf []complex128) error {
+	if len(buf) == 0 {
+		return nil
+	}
+	t := &st.sch.Tasks[dt]
+	sym := st.sch.Sym()
+	cb := &sym.CB[t.Cell]
+	w := cb.Width()
+	st.f.EnsureCell(t.Cell)
+	data := st.f.Data[t.Cell]
+	ld := st.f.LD[t.Cell]
+	switch t.Type {
+	case sched.Comp1D:
+		if len(buf) != len(data) {
+			return fmt.Errorf("solver: zAUB size %d != cell size %d", len(buf), len(data))
+		}
+		for i, v := range buf {
+			data[i] += v
+		}
+	case sched.Factor:
+		for j := 0; j < w; j++ {
+			col := data[j*ld : j*ld+w]
+			src := buf[j*w : j*w+w]
+			for i := j; i < w; i++ {
+				col[i] += src[i]
+			}
+		}
+	case sched.BDiv:
+		rb := cb.Blocks[t.S].Rows()
+		off := st.f.BlockOff[t.Cell][t.S]
+		for j := 0; j < w; j++ {
+			col := data[off+j*ld : off+j*ld+rb]
+			src := buf[j*rb : j*rb+rb]
+			for i := range col {
+				col[i] += src[i]
+			}
+		}
+	default:
+		return fmt.Errorf("solver: zAUB destined to %v task", t.Type)
+	}
+	return nil
+}
+
+func (st *zProcState) cellDiagVec(k int) []complex128 {
+	w := st.sch.Sym().CB[k].Width()
+	if fid := st.sch.FactorOf[k]; fid >= 0 && st.sch.Tasks[fid].Proc != st.p {
+		buf := st.diags[k]
+		d := make([]complex128, w)
+		for j := 0; j < w; j++ {
+			d[j] = buf[j+j*w]
+		}
+		return d
+	}
+	return st.f.Diag(k)
+}
+
+func (st *zProcState) cellInvD(k int) []complex128 {
+	if v, ok := st.invd[k]; ok {
+		return v
+	}
+	d := st.cellDiagVec(k)
+	inv := make([]complex128, len(d))
+	for i, x := range d {
+		inv[i] = 1 / x
+	}
+	st.invd[k] = inv
+	return inv
+}
+
+func (st *zProcState) diagRef(k int) ([]complex128, int) {
+	if fid := st.sch.FactorOf[k]; fid >= 0 && st.sch.Tasks[fid].Proc != st.p {
+		return st.diags[k], st.sch.Sym().CB[k].Width()
+	}
+	return st.f.Data[k], st.f.LD[k]
+}
+
+func (st *zProcState) execComp1D(t *sched.Task) error {
+	k := t.Cell
+	sym := st.sch.Sym()
+	cb := &sym.CB[k]
+	w := cb.Width()
+	ld := st.f.LD[k]
+	if err := blas.ZLDLT(w, st.f.Data[k], ld); err != nil {
+		return fmt.Errorf("solver: cb %d: %w", k, err)
+	}
+	r := cb.RowsBelow()
+	if r > 0 {
+		blas.ZTrsmRightLTransUnit(r, w, st.f.Data[k], ld, st.f.Data[k][w:], ld)
+	}
+	d := st.f.Diag(k)
+	invd := make([]complex128, len(d))
+	for i, v := range d {
+		invd[i] = 1 / v
+	}
+	touched := map[int]bool{}
+	for ti := range cb.Blocks {
+		for si := ti; si < len(cb.Blocks); si++ {
+			dt, err := st.routePair(k, si, ti,
+				st.f.Data[k][st.f.BlockOff[k][si]:], ld,
+				st.f.Data[k][st.f.BlockOff[k][ti]:], ld, invd)
+			if err != nil {
+				return err
+			}
+			if dt >= 0 {
+				touched[dt] = true
+			}
+		}
+	}
+	st.flushAUBs(touched)
+	if r > 0 {
+		blas.ZScaleColumns(r, w, st.f.Data[k][w:], ld, d)
+	}
+	return nil
+}
+
+func (st *zProcState) execFactor(t *sched.Task) error {
+	k := t.Cell
+	w := st.sch.Sym().CB[k].Width()
+	ld := st.f.LD[k]
+	if err := blas.ZLDLT(w, st.f.Data[k], ld); err != nil {
+		return fmt.Errorf("solver: cb %d: %w", k, err)
+	}
+	if dsts := st.pr.sendTo[t.ID]; len(dsts) > 0 {
+		buf := make([]complex128, w*w)
+		for j := 0; j < w; j++ {
+			copy(buf[j*w+j:j*w+w], st.f.Data[k][j*ld+j:j*ld+w])
+		}
+		fbuf := zToFloats(buf)
+		for _, q := range dsts {
+			st.comm.Send(mpsim.Message{Kind: msgDiag, Src: st.p, Dst: q, Tag: k, Data: fbuf})
+		}
+	}
+	return nil
+}
+
+func (st *zProcState) execBDiv(t *sched.Task) error {
+	k := t.Cell
+	sym := st.sch.Sym()
+	cb := &sym.CB[k]
+	w := cb.Width()
+	rb := cb.Blocks[t.S].Rows()
+	l, ldl := st.diagRef(k)
+	off := st.f.BlockOff[k][t.S]
+	blas.ZTrsmRightLTransUnit(rb, w, l, ldl, st.f.Data[k][off:], st.f.LD[k])
+	if dsts := st.pr.sendTo[t.ID]; len(dsts) > 0 {
+		buf := make([]complex128, rb*w)
+		for j := 0; j < w; j++ {
+			copy(buf[j*rb:(j+1)*rb], st.f.Data[k][off+j*st.f.LD[k]:off+j*st.f.LD[k]+rb])
+		}
+		fbuf := zToFloats(buf)
+		for _, q := range dsts {
+			st.comm.Send(mpsim.Message{Kind: msgF, Src: st.p, Dst: q, Tag: t.ID, Data: fbuf})
+		}
+	}
+	return nil
+}
+
+func (st *zProcState) execBMod(t *sched.Task) error {
+	k := t.Cell
+	cb := &st.sch.Sym().CB[k]
+	ldk := st.f.LD[k]
+	ws := st.f.Data[k][st.f.BlockOff[k][t.S]:]
+	var wt []complex128
+	var ldt int
+	bdivT := st.sch.BDivOf[k][t.T]
+	if st.sch.Tasks[bdivT].Proc == st.p {
+		wt = st.f.Data[k][st.f.BlockOff[k][t.T]:]
+		ldt = ldk
+	} else {
+		wt = st.fstore[bdivT]
+		ldt = cb.Blocks[t.T].Rows()
+	}
+	dt, err := st.routePair(k, t.S, t.T, ws, ldk, wt, ldt, st.cellInvD(k))
+	if err != nil {
+		return err
+	}
+	if dt >= 0 {
+		st.flushAUBs(map[int]bool{dt: true})
+	}
+	return nil
+}
+
+func (st *zProcState) routePair(k, s, t int, ws []complex128, lda int, wt []complex128, ldb int, invd []complex128) (int, error) {
+	sym := st.sch.Sym()
+	cb := &sym.CB[k]
+	w := cb.Width()
+	bs := &cb.Blocks[s]
+	bt := &cb.Blocks[t]
+	rs := bs.Rows()
+	rt := bt.Rows()
+	fcell := bt.Facing
+	fcb := &sym.CB[fcell]
+
+	var dt int
+	switch {
+	case st.sch.Comp1DOf[fcell] >= 0:
+		dt = st.sch.Comp1DOf[fcell]
+	case bs.Facing == fcell:
+		dt = st.sch.FactorOf[fcell]
+	default:
+		shape := st.shape()
+		b := shape.BlockContaining(fcell, bs.FirstRow, bs.LastRow)
+		if b < 0 {
+			return -1, fmt.Errorf("solver: zrows [%d,%d) of cb %d not in cb %d", bs.FirstRow, bs.LastRow, k, fcell)
+		}
+		dt = st.sch.BDivOf[fcell][b]
+	}
+	dtask := &st.sch.Tasks[dt]
+	lc := bt.FirstRow - fcb.Cols[0]
+
+	var dst []complex128
+	var ldc int
+	if dtask.Proc == st.p {
+		st.f.EnsureCell(fcell)
+		lr := st.f.LocateRow(fcell, bs.FirstRow)
+		ldc = st.f.LD[fcell]
+		dst = st.f.Data[fcell][lr+lc*ldc:]
+	} else {
+		buf := st.aubBuf[dt]
+		if buf == nil {
+			buf = make([]complex128, st.aubSize(dt))
+			st.aubBuf[dt] = buf
+		}
+		var lr int
+		switch dtask.Type {
+		case sched.Comp1D:
+			lr = st.f.LocateRow(fcell, bs.FirstRow)
+			ldc = st.f.LD[fcell]
+		case sched.Factor:
+			lr = bs.FirstRow - fcb.Cols[0]
+			ldc = fcb.Width()
+		case sched.BDiv:
+			fb := &fcb.Blocks[dtask.S]
+			lr = bs.FirstRow - fb.FirstRow
+			ldc = fb.Rows()
+		}
+		dst = buf[lr+lc*ldc:]
+	}
+	if s == t {
+		blas.ZSyrkLowerNDT(rs, w, ws, lda, invd, dst, ldc)
+	} else {
+		blas.ZGemmNDT(rs, rt, w, ws, lda, invd, wt, ldb, dst, ldc)
+	}
+	if dtask.Proc == st.p {
+		return -1, nil
+	}
+	return dt, nil
+}
+
+func (st *zProcState) aubSize(dt int) int {
+	t := &st.sch.Tasks[dt]
+	cb := &st.sch.Sym().CB[t.Cell]
+	w := cb.Width()
+	switch t.Type {
+	case sched.Comp1D:
+		return st.f.LD[t.Cell] * w
+	case sched.Factor:
+		return w * w
+	default:
+		return cb.Blocks[t.S].Rows() * w
+	}
+}
+
+func (st *zProcState) flushAUBs(touched map[int]bool) {
+	for dt := range touched {
+		st.aubRem[dt]--
+		if st.aubRem[dt] == 0 {
+			buf := st.aubBuf[dt]
+			delete(st.aubBuf, dt)
+			delete(st.aubRem, dt)
+			st.comm.Send(mpsim.Message{
+				Kind: msgAUB, Src: st.p, Dst: st.sch.Tasks[dt].Proc, Tag: dt, Data: zToFloats(buf),
+			})
+		}
+	}
+}

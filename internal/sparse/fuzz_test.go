@@ -1,0 +1,49 @@
+package sparse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Fuzz targets for the two file parsers: arbitrary input must never panic,
+// and anything that parses must satisfy the matrix invariants.
+
+func FuzzReadMatrixMarket(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate real symmetric\n2 2 3\n1 1 2.0\n2 2 2.0\n2 1 -1.0\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n1 1 1\n1 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 1.0\n")
+	f.Add("garbage")
+	f.Add("%%MatrixMarket matrix coordinate real symmetric\n-1 -1 -1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		a, err := ReadMatrixMarket(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("parsed matrix violates invariants: %v", err)
+		}
+	})
+}
+
+func FuzzReadHB(f *testing.F) {
+	var buf bytes.Buffer
+	b := NewBuilder(3)
+	b.Add(0, 0, 2)
+	b.Add(1, 0, -1)
+	b.Add(1, 1, 2)
+	b.Add(2, 2, 1)
+	_ = WriteHB(&buf, b.Build(), "seed")
+	f.Add(buf.String())
+	f.Add("short")
+	f.Add("title\n 1 1 1 1\nRSA 2 2 2 0\n(1I8) (1I8) (1E10.3)\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		a, _, err := ReadHB(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("parsed HB matrix violates invariants: %v", err)
+		}
+	})
+}

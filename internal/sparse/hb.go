@@ -1,0 +1,269 @@
+package sparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Harwell-Boeing (RSA) reader/writer. The paper's test problems are
+// distributed "in the RSA format": real, symmetric, assembled, lower
+// triangle stored column-wise with 1-based indices and fixed-width Fortran
+// formats. We parse the three data formats declared on header line 3
+// (pointers, indices, values) as fixed-width fields, which handles files
+// with no separating blanks.
+
+type fortranFormat struct {
+	count int // repeat count per line
+	width int // field width in characters
+}
+
+// parseFortranFormat understands the common forms "(13I6)", "(3E26.18)",
+// "(1P,4E20.13)", "(10F8.3)", "(1P4D16.9)" etc. Only count and width matter
+// for reading.
+func parseFortranFormat(s string) (fortranFormat, error) {
+	t := strings.ToUpper(strings.TrimSpace(s))
+	t = strings.TrimPrefix(t, "(")
+	t = strings.TrimSuffix(t, ")")
+	// Drop scale factors like "1P," or leading "1P".
+	if i := strings.Index(t, "P"); i >= 0 {
+		t = strings.TrimPrefix(t[i+1:], ",")
+	}
+	// Now expect [count] LETTER width [. digits]
+	i := 0
+	for i < len(t) && t[i] >= '0' && t[i] <= '9' {
+		i++
+	}
+	count := 1
+	if i > 0 {
+		c, err := strconv.Atoi(t[:i])
+		if err != nil {
+			return fortranFormat{}, err
+		}
+		count = c
+	}
+	if i >= len(t) {
+		return fortranFormat{}, fmt.Errorf("sparse: bad Fortran format %q", s)
+	}
+	letter := t[i]
+	switch letter {
+	case 'I', 'E', 'D', 'F', 'G':
+	default:
+		return fortranFormat{}, fmt.Errorf("sparse: unsupported Fortran descriptor %q", s)
+	}
+	rest := t[i+1:]
+	if j := strings.IndexByte(rest, '.'); j >= 0 {
+		rest = rest[:j]
+	}
+	w, err := strconv.Atoi(rest)
+	if err != nil {
+		return fortranFormat{}, fmt.Errorf("sparse: bad width in format %q", s)
+	}
+	return fortranFormat{count: count, width: w}, nil
+}
+
+// readFixed reads exactly n fixed-width fields laid out f.count per line.
+func readFixed(r *bufio.Reader, f fortranFormat, n int) ([]string, error) {
+	out := make([]string, 0, n)
+	for len(out) < n {
+		line, err := r.ReadString('\n')
+		if len(line) == 0 && err != nil {
+			return nil, fmt.Errorf("sparse: unexpected EOF reading HB data: %w", err)
+		}
+		line = strings.TrimRight(line, "\r\n")
+		for k := 0; k < f.count && len(out) < n; k++ {
+			lo := k * f.width
+			if lo >= len(line) {
+				break
+			}
+			hi := lo + f.width
+			if hi > len(line) {
+				hi = len(line)
+			}
+			field := strings.TrimSpace(line[lo:hi])
+			if field == "" {
+				break
+			}
+			out = append(out, field)
+		}
+	}
+	return out, nil
+}
+
+// ReadHB parses a Harwell-Boeing file. Only RSA (real symmetric assembled)
+// and PSA (pattern symmetric) matrices are supported; PSA entries get value
+// zero except unit diagonals.
+func ReadHB(r io.Reader) (*SymMatrix, string, error) {
+	br := bufio.NewReader(r)
+	line1, err := br.ReadString('\n')
+	if err != nil {
+		return nil, "", fmt.Errorf("sparse: HB header: %w", err)
+	}
+	title := strings.TrimSpace(line1[:min(72, len(line1))])
+
+	line2, err := br.ReadString('\n')
+	if err != nil {
+		return nil, "", fmt.Errorf("sparse: HB header line 2: %w", err)
+	}
+	f2 := strings.Fields(line2)
+	if len(f2) < 4 {
+		return nil, "", fmt.Errorf("sparse: HB header line 2 malformed: %q", line2)
+	}
+	// totcrd ptrcrd indcrd valcrd [rhscrd]
+	valcrd, _ := strconv.Atoi(f2[3])
+
+	line3, err := br.ReadString('\n')
+	if err != nil {
+		return nil, "", fmt.Errorf("sparse: HB header line 3: %w", err)
+	}
+	f3 := strings.Fields(line3)
+	if len(f3) < 4 {
+		return nil, "", fmt.Errorf("sparse: HB header line 3 malformed: %q", line3)
+	}
+	mxtype := strings.ToUpper(f3[0])
+	if mxtype != "RSA" && mxtype != "PSA" {
+		return nil, "", fmt.Errorf("sparse: unsupported HB matrix type %q", mxtype)
+	}
+	nrow, err1 := strconv.Atoi(f3[1])
+	ncol, err2 := strconv.Atoi(f3[2])
+	nnz, err3 := strconv.Atoi(f3[3])
+	if err1 != nil || err2 != nil || err3 != nil || nrow != ncol {
+		return nil, "", fmt.Errorf("sparse: bad HB dimensions: %q", line3)
+	}
+
+	line4, err := br.ReadString('\n')
+	if err != nil {
+		return nil, "", fmt.Errorf("sparse: HB header line 4: %w", err)
+	}
+	// Formats: ptrfmt indfmt valfmt [rhsfmt]; fixed columns 1-16,17-32,33-52.
+	pad := line4 + strings.Repeat(" ", 80)
+	ptrfmt, err := parseFortranFormat(pad[0:16])
+	if err != nil {
+		return nil, "", err
+	}
+	indfmt, err := parseFortranFormat(pad[16:32])
+	if err != nil {
+		return nil, "", err
+	}
+	var valfmt fortranFormat
+	if mxtype == "RSA" {
+		valfmt, err = parseFortranFormat(pad[32:52])
+		if err != nil {
+			return nil, "", err
+		}
+	}
+	_ = valcrd
+
+	ptrs, err := readFixed(br, ptrfmt, ncol+1)
+	if err != nil {
+		return nil, "", err
+	}
+	inds, err := readFixed(br, indfmt, nnz)
+	if err != nil {
+		return nil, "", err
+	}
+	var vals []string
+	if mxtype == "RSA" {
+		vals, err = readFixed(br, valfmt, nnz)
+		if err != nil {
+			return nil, "", err
+		}
+	}
+
+	if ncol <= 0 || nnz < 0 {
+		return nil, "", fmt.Errorf("sparse: bad HB sizes n=%d nnz=%d", ncol, nnz)
+	}
+	b := NewBuilder(ncol)
+	colptr := make([]int, ncol+1)
+	for j, s := range ptrs {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, "", fmt.Errorf("sparse: bad HB pointer %q", s)
+		}
+		colptr[j] = v - 1
+		if colptr[j] < 0 || colptr[j] > nnz || (j > 0 && colptr[j] < colptr[j-1]) {
+			return nil, "", fmt.Errorf("sparse: HB pointer %d out of order or range", v)
+		}
+	}
+	for j := 0; j < ncol; j++ {
+		for p := colptr[j]; p < colptr[j+1]; p++ {
+			i, err := strconv.Atoi(inds[p])
+			if err != nil {
+				return nil, "", fmt.Errorf("sparse: bad HB index %q", inds[p])
+			}
+			if i < 1 || i > ncol {
+				return nil, "", fmt.Errorf("sparse: HB row index %d out of range", i)
+			}
+			var v float64
+			if mxtype == "RSA" {
+				s := strings.Replace(vals[p], "D", "E", 1)
+				s = strings.Replace(s, "d", "E", 1)
+				v, err = strconv.ParseFloat(s, 64)
+				if err != nil {
+					return nil, "", fmt.Errorf("sparse: bad HB value %q", vals[p])
+				}
+			} else if i-1 == j {
+				v = 1
+			}
+			b.Add(i-1, j, v)
+		}
+	}
+	return b.Build(), title, nil
+}
+
+// WriteHB writes the matrix in RSA Harwell-Boeing format with key "PASTIXGO".
+func WriteHB(w io.Writer, a *SymMatrix, title string) error {
+	bw := bufio.NewWriter(w)
+	const (
+		ptrPerLine = 10
+		ptrWidth   = 8
+		indPerLine = 10
+		indWidth   = 8
+		valPerLine = 3
+		valWidth   = 26
+	)
+	nnz := a.NNZ()
+	lines := func(n, per int) int { return (n + per - 1) / per }
+	ptrcrd := lines(a.N+1, ptrPerLine)
+	indcrd := lines(nnz, indPerLine)
+	valcrd := lines(nnz, valPerLine)
+	totcrd := ptrcrd + indcrd + valcrd
+
+	if len(title) > 72 {
+		title = title[:72]
+	}
+	fmt.Fprintf(bw, "%-72s%-8s\n", title, "PASTIXGO")
+	fmt.Fprintf(bw, "%14d%14d%14d%14d%14d\n", totcrd, ptrcrd, indcrd, valcrd, 0)
+	fmt.Fprintf(bw, "%-14s%14d%14d%14d%14d\n", "RSA", a.N, a.N, nnz, 0)
+	fmt.Fprintf(bw, "%-16s%-16s%-20s%-20s\n",
+		fmt.Sprintf("(%dI%d)", ptrPerLine, ptrWidth),
+		fmt.Sprintf("(%dI%d)", indPerLine, indWidth),
+		fmt.Sprintf("(%dE%d.16)", valPerLine, valWidth), "")
+
+	writeInts := func(xs []int, per, width int) {
+		for i, x := range xs {
+			fmt.Fprintf(bw, "%*d", width, x+1) // 1-based
+			if (i+1)%per == 0 || i == len(xs)-1 {
+				fmt.Fprintln(bw)
+			}
+		}
+	}
+	writeInts(a.ColPtr, ptrPerLine, ptrWidth)
+	writeInts(a.RowIdx, indPerLine, indWidth)
+	for i, v := range a.Val {
+		fmt.Fprintf(bw, "%*.16E", valWidth, v)
+		if (i+1)%valPerLine == 0 || i == len(a.Val)-1 {
+			fmt.Fprintln(bw)
+		}
+	}
+	return bw.Flush()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,230 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+)
+
+// ZSymMatrix is a COMPLEX SYMMETRIC (A = Aᵀ, generally A ≠ Aᴴ) sparse
+// matrix in the same lower-CSC layout as SymMatrix. This is the paper's
+// actual target class: "we use LDLᵀ factorization in order to solve sparse
+// systems with complex coefficients".
+type ZSymMatrix struct {
+	N      int
+	ColPtr []int
+	RowIdx []int
+	Val    []complex128
+}
+
+// NNZ returns the number of stored entries.
+func (a *ZSymMatrix) NNZ() int { return len(a.RowIdx) }
+
+// Validate checks the structural invariants (same rules as SymMatrix).
+func (a *ZSymMatrix) Validate() error {
+	if len(a.ColPtr) != a.N+1 || a.ColPtr[0] != 0 || a.ColPtr[a.N] != len(a.RowIdx) || len(a.RowIdx) != len(a.Val) {
+		return fmt.Errorf("sparse: zsym inconsistent arrays")
+	}
+	for j := 0; j < a.N; j++ {
+		lo, hi := a.ColPtr[j], a.ColPtr[j+1]
+		if lo >= hi || a.RowIdx[lo] != j {
+			return fmt.Errorf("sparse: zsym column %d missing diagonal", j)
+		}
+		for p := lo; p < hi; p++ {
+			if a.RowIdx[p] < j || a.RowIdx[p] >= a.N || (p > lo && a.RowIdx[p-1] >= a.RowIdx[p]) {
+				return fmt.Errorf("sparse: zsym column %d malformed", j)
+			}
+		}
+	}
+	return nil
+}
+
+// Pattern returns a real SPD-safe matrix with the same sparsity: 1 off the
+// diagonal magnitudeless, strong diagonal. The ordering and symbolic phases
+// run on this pattern; the complex numerics follow the resulting structure.
+func (a *ZSymMatrix) Pattern() *SymMatrix {
+	p := &SymMatrix{
+		N:      a.N,
+		ColPtr: append([]int(nil), a.ColPtr...),
+		RowIdx: append([]int(nil), a.RowIdx...),
+		Val:    make([]float64, len(a.Val)),
+	}
+	deg := make([]float64, a.N)
+	for j := 0; j < a.N; j++ {
+		for q := a.ColPtr[j] + 1; q < a.ColPtr[j+1]; q++ {
+			deg[a.RowIdx[q]]++
+			deg[j]++
+		}
+	}
+	for j := 0; j < a.N; j++ {
+		for q := a.ColPtr[j]; q < a.ColPtr[j+1]; q++ {
+			if a.RowIdx[q] == j {
+				p.Val[q] = deg[j] + 1
+			} else {
+				p.Val[q] = -1
+			}
+		}
+	}
+	return p
+}
+
+// At returns A[i][j].
+func (a *ZSymMatrix) At(i, j int) complex128 {
+	if i < j {
+		i, j = j, i
+	}
+	col := a.RowIdx[a.ColPtr[j]:a.ColPtr[j+1]]
+	p := sort.SearchInts(col, i)
+	if p < len(col) && col[p] == i {
+		return a.Val[a.ColPtr[j]+p]
+	}
+	return 0
+}
+
+// MatVec computes y = A·x with symmetric expansion (no conjugation).
+func (a *ZSymMatrix) MatVec(x, y []complex128) {
+	for i := range y {
+		y[i] = 0
+	}
+	for j := 0; j < a.N; j++ {
+		xj := x[j]
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			i := a.RowIdx[p]
+			v := a.Val[p]
+			y[i] += v * xj
+			if i != j {
+				y[j] += v * x[i]
+			}
+		}
+	}
+}
+
+// Permute returns P·A·Pᵀ with perm[new] = old.
+func (a *ZSymMatrix) Permute(perm []int) *ZSymMatrix {
+	n := a.N
+	inv := make([]int, n)
+	for newI, old := range perm {
+		inv[old] = newI
+	}
+	type ent struct {
+		row int
+		val complex128
+	}
+	cols := make([][]ent, n)
+	for j := 0; j < n; j++ {
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			ni, nj := inv[a.RowIdx[p]], inv[j]
+			if ni < nj {
+				ni, nj = nj, ni
+			}
+			cols[nj] = append(cols[nj], ent{ni, a.Val[p]})
+		}
+	}
+	b := &ZSymMatrix{N: n, ColPtr: make([]int, n+1)}
+	for j := 0; j < n; j++ {
+		sort.Slice(cols[j], func(x, y int) bool { return cols[j][x].row < cols[j][y].row })
+		b.ColPtr[j+1] = b.ColPtr[j] + len(cols[j])
+	}
+	b.RowIdx = make([]int, b.ColPtr[n])
+	b.Val = make([]complex128, b.ColPtr[n])
+	for j := 0; j < n; j++ {
+		p := b.ColPtr[j]
+		for _, e := range cols[j] {
+			b.RowIdx[p] = e.row
+			b.Val[p] = e.val
+			p++
+		}
+	}
+	return b
+}
+
+// ZBuilder assembles a ZSymMatrix from triplets.
+type ZBuilder struct {
+	n    int
+	cols []map[int]complex128
+}
+
+// NewZBuilder creates a builder for an n×n complex symmetric matrix.
+func NewZBuilder(n int) *ZBuilder {
+	b := &ZBuilder{n: n, cols: make([]map[int]complex128, n)}
+	for j := range b.cols {
+		b.cols[j] = make(map[int]complex128)
+	}
+	return b
+}
+
+// Add accumulates v into A[i][j] (= A[j][i]).
+func (b *ZBuilder) Add(i, j int, v complex128) {
+	if i < 0 || j < 0 || i >= b.n || j >= b.n {
+		panic(fmt.Sprintf("sparse: ztriplet (%d,%d) out of range", i, j))
+	}
+	if i < j {
+		i, j = j, i
+	}
+	b.cols[j][i] += v
+}
+
+// Build finalizes the matrix (explicit zero diagonals inserted).
+func (b *ZBuilder) Build() *ZSymMatrix {
+	a := &ZSymMatrix{N: b.n, ColPtr: make([]int, b.n+1)}
+	for j := 0; j < b.n; j++ {
+		if _, ok := b.cols[j][j]; !ok {
+			b.cols[j][j] = 0
+		}
+		a.ColPtr[j+1] = a.ColPtr[j] + len(b.cols[j])
+	}
+	a.RowIdx = make([]int, a.ColPtr[b.n])
+	a.Val = make([]complex128, a.ColPtr[b.n])
+	for j := 0; j < b.n; j++ {
+		rows := make([]int, 0, len(b.cols[j]))
+		for i := range b.cols[j] {
+			rows = append(rows, i)
+		}
+		sort.Ints(rows)
+		p := a.ColPtr[j]
+		for _, i := range rows {
+			a.RowIdx[p] = i
+			a.Val[p] = b.cols[j][i]
+			p++
+		}
+	}
+	return a
+}
+
+// ZResidual returns ‖Ax−b‖∞ / (‖b‖∞ + ‖x‖∞·maxcolsum) for a complex system.
+func ZResidual(a *ZSymMatrix, x, b []complex128) float64 {
+	r := make([]complex128, a.N)
+	a.MatVec(x, r)
+	num, xmax, bmax := 0.0, 0.0, 0.0
+	for i := range r {
+		if d := cmplx.Abs(r[i] - b[i]); d > num {
+			num = d
+		}
+		if v := cmplx.Abs(x[i]); v > xmax {
+			xmax = v
+		}
+		if v := cmplx.Abs(b[i]); v > bmax {
+			bmax = v
+		}
+	}
+	colsum := make([]float64, a.N)
+	for j := 0; j < a.N; j++ {
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			v := cmplx.Abs(a.Val[p])
+			colsum[j] += v
+			if a.RowIdx[p] != j {
+				colsum[a.RowIdx[p]] += v
+			}
+		}
+	}
+	mx := 0.0
+	for _, s := range colsum {
+		mx = math.Max(mx, s)
+	}
+	den := mx*xmax + bmax
+	if den == 0 {
+		return num
+	}
+	return num / den
+}

@@ -1,0 +1,470 @@
+// Package pastix is a pure-Go parallel sparse direct solver for symmetric
+// positive definite (and symmetric strongly diagonally dominant) systems
+// A·x = b, reproducing the solver of
+//
+//	P. Hénon, P. Ramet, J. Roman. "PaStiX: A Parallel Sparse Direct Solver
+//	Based on a Static Scheduling for Mixed 1D/2D Block Distributions."
+//	IPPS/SPDP Workshops (Irregular 2000).
+//
+// The pipeline is the paper's: nested-dissection/Halo-AMD ordering, block
+// symbolic factorization, supernode splitting with candidate-processor
+// proportional mapping and a per-supernode 1D/2D distribution switch, a
+// simulation-driven static schedule, and a supernodal fan-in LDLᵀ numerical
+// factorization with total local aggregation, fully driven by the schedule.
+//
+// # Quick start
+//
+//	m := pastix.NewBuilder(n)        // assemble the lower triangle
+//	m.Add(i, j, v)                   // (both triangles accepted, duplicates sum)
+//	A := m.Build()
+//	ctx, err := pastix.Analyze(A, pastix.Options{Processors: 4})
+//	f, err := ctx.Factorize()
+//	x, err := ctx.Solve(f, b)
+//
+// An Analysis is reusable across factorizations of matrices with the same
+// pattern; Factorize runs the schedule on goroutine "processors" exchanging
+// messages exactly as the distributed-memory algorithm prescribes.
+package pastix
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/pastix-go/pastix/internal/cost"
+	"github.com/pastix-go/pastix/internal/etree"
+	"github.com/pastix-go/pastix/internal/order"
+	"github.com/pastix-go/pastix/internal/part"
+	"github.com/pastix-go/pastix/internal/solver"
+	"github.com/pastix-go/pastix/internal/sparse"
+)
+
+// Matrix is a symmetric sparse matrix (lower triangle stored, CSC).
+type Matrix = sparse.SymMatrix
+
+// Builder assembles a Matrix from triplets.
+type Builder = sparse.Builder
+
+// NewBuilder returns a Builder for an n×n symmetric matrix.
+func NewBuilder(n int) *Builder { return sparse.NewBuilder(n) }
+
+// ElementBuilder assembles a matrix element-by-element (finite-element
+// stiffness assembly).
+type ElementBuilder = sparse.ElementBuilder
+
+// NewElementBuilder returns an ElementBuilder for an n×n system.
+func NewElementBuilder(n int) *ElementBuilder { return sparse.NewElementBuilder(n) }
+
+// ReadRSA parses a Harwell-Boeing RSA/PSA file (the format of the paper's
+// test problems) and returns the matrix and the file's title.
+func ReadRSA(r io.Reader) (*Matrix, string, error) { return sparse.ReadHB(r) }
+
+// WriteRSA writes the matrix in Harwell-Boeing RSA format.
+func WriteRSA(w io.Writer, a *Matrix, title string) error { return sparse.WriteHB(w, a, title) }
+
+// ReadMatrixMarket parses a symmetric coordinate Matrix Market stream (the
+// SuiteSparse exchange format).
+func ReadMatrixMarket(r io.Reader) (*Matrix, error) { return sparse.ReadMatrixMarket(r) }
+
+// WriteMatrixMarket writes the matrix in symmetric coordinate Matrix Market
+// format.
+func WriteMatrixMarket(w io.Writer, a *Matrix, comment string) error {
+	return sparse.WriteMatrixMarket(w, a, comment)
+}
+
+// OrderingMethod selects the fill-reducing ordering configuration.
+type OrderingMethod int
+
+const (
+	// OrderScotchLike is the paper's ordering: nested dissection tightly
+	// coupled with Halo Approximate Minimum Degree (default).
+	OrderScotchLike OrderingMethod = iota
+	// OrderMetisLike is the alternative ND+AMD configuration (PSPASES's
+	// default ordering family).
+	OrderMetisLike
+	// OrderAMD runs approximate minimum degree on the whole graph.
+	OrderAMD
+	// OrderNatural keeps the given order (testing/diagnostics only).
+	OrderNatural
+)
+
+// Options configures Analyze.
+type Options struct {
+	// Processors is the number of virtual processors the static schedule
+	// targets and Factorize runs on (default 1).
+	Processors int
+	// Ordering selects the ordering configuration (default OrderScotchLike).
+	Ordering OrderingMethod
+	// LeafSize bounds the nested-dissection leaf subgraphs (default 120).
+	LeafSize int
+	// BlockSize is the BLAS blocking size used to split wide supernodes
+	// (default 64, the paper's setting).
+	BlockSize int
+	// Ratio2D is the minimum candidate-processor count for a supernode to be
+	// distributed 2D (default 4).
+	Ratio2D int
+	// NoAmalgamation disables relaxed supernode amalgamation.
+	NoAmalgamation bool
+	// CompressGraph groups indistinguishable vertices before ordering
+	// (recommended for multi-DOF finite element problems).
+	CompressGraph bool
+	// MultilevelND computes separators by multilevel coarsening instead of a
+	// single level-set cut (better on irregular graphs).
+	MultilevelND bool
+	// CalibrateMachine measures this host's kernels to build the scheduling
+	// cost model instead of using the deterministic SP2-like profile. Use it
+	// when wall-clock parallel speed matters more than reproducibility.
+	CalibrateMachine bool
+}
+
+// Analysis is the reusable result of the pre-processing phases. All methods
+// are safe for concurrent use once constructed.
+type Analysis struct {
+	inner *solver.Analysis
+}
+
+// Factor holds the numerical factorization L·D·Lᵀ.
+type Factor struct {
+	inner *solver.Factors
+	an    *solver.Analysis
+}
+
+// Analyze orders the matrix, computes the block symbolic factorization, and
+// builds the static schedule for opts.Processors virtual processors.
+func Analyze(a *Matrix, opts Options) (*Analysis, error) {
+	if a == nil {
+		return nil, fmt.Errorf("pastix: nil matrix")
+	}
+	var m order.Method
+	switch opts.Ordering {
+	case OrderScotchLike:
+		m = order.ScotchLike
+	case OrderMetisLike:
+		m = order.MetisLike
+	case OrderAMD:
+		m = order.PureAMD
+	case OrderNatural:
+		m = order.Natural
+	default:
+		return nil, fmt.Errorf("pastix: unknown ordering method %d", opts.Ordering)
+	}
+	var mach *cost.Machine
+	if opts.CalibrateMachine {
+		var err error
+		mach, err = cost.CalibrateLocal(false)
+		if err != nil {
+			return nil, err
+		}
+	}
+	inner, err := solver.Analyze(a, solver.Options{
+		P: opts.Processors,
+		Ordering: order.Options{
+			Method:     m,
+			LeafSize:   opts.LeafSize,
+			Compress:   opts.CompressGraph,
+			Multilevel: opts.MultilevelND,
+		},
+		Amalgamation: etree.AmalgamateOptions{Disable: opts.NoAmalgamation},
+		Part:         part.Options{BlockSize: opts.BlockSize, Ratio2D: opts.Ratio2D},
+		Machine:      mach,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Analysis{inner: inner}, nil
+}
+
+// SchurComplement eliminates every unknown outside schurVars and returns the
+// dense Schur complement S = A_ss − A_si·A_ii⁻¹·A_is (ns×ns column-major,
+// full symmetric storage) together with the order of its rows/columns in
+// terms of the original indices. This is the building block hybrid
+// direct/iterative methods consume (the PaStiX-family Schur API).
+func SchurComplement(a *Matrix, schurVars []int, opts Options) ([]float64, []int, error) {
+	san, err := solver.AnalyzeSchur(a, schurVars, solver.Options{
+		P:        1,
+		Ordering: order.Options{LeafSize: opts.LeafSize, Compress: opts.CompressGraph, Multilevel: opts.MultilevelND},
+		Part:     part.Options{BlockSize: opts.BlockSize},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	_, s, err := san.FactorizeSchur()
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, san.SchurVars, nil
+}
+
+// Factorize computes the numerical LDLᵀ factorization: sequentially on one
+// processor, or with the schedule-driven parallel fan-in solver.
+func (an *Analysis) Factorize() (*Factor, error) {
+	f, err := an.inner.Factorize()
+	if err != nil {
+		return nil, err
+	}
+	return &Factor{inner: f, an: an.inner}, nil
+}
+
+// Solve returns x with A·x = b (original ordering; b is not modified).
+func (an *Analysis) Solve(f *Factor, b []float64) ([]float64, error) {
+	if f == nil || f.an != an.inner {
+		return nil, fmt.Errorf("pastix: factor does not belong to this analysis")
+	}
+	if len(b) != an.inner.A.N {
+		return nil, fmt.Errorf("pastix: rhs length %d, matrix order %d", len(b), an.inner.A.N)
+	}
+	return an.inner.SolveOriginal(f.inner, b), nil
+}
+
+// SolveParallel solves A·x = b with the distributed block triangular solves
+// on the schedule's processors (same result as Solve to rounding).
+func (an *Analysis) SolveParallel(f *Factor, b []float64) ([]float64, error) {
+	if f == nil || f.an != an.inner {
+		return nil, fmt.Errorf("pastix: factor does not belong to this analysis")
+	}
+	if len(b) != an.inner.A.N {
+		return nil, fmt.Errorf("pastix: rhs length %d, matrix order %d", len(b), an.inner.A.N)
+	}
+	pb := make([]float64, len(b))
+	for newI, old := range an.inner.Perm {
+		pb[newI] = b[old]
+	}
+	px, err := solver.SolvePar(an.inner.Sched, f.inner, pb)
+	if err != nil {
+		return nil, err
+	}
+	x := make([]float64, len(b))
+	for newI, old := range an.inner.Perm {
+		x[old] = px[newI]
+	}
+	return x, nil
+}
+
+// SolveMany solves A·X = B for nrhs right-hand sides at once (b is an
+// n×nrhs column-major panel in the original ordering; the solution panel is
+// returned in the same layout). Block kernels make this faster than nrhs
+// separate Solve calls.
+func (an *Analysis) SolveMany(f *Factor, b []float64, nrhs int) ([]float64, error) {
+	n := an.inner.A.N
+	if f == nil || f.an != an.inner {
+		return nil, fmt.Errorf("pastix: factor does not belong to this analysis")
+	}
+	if nrhs <= 0 || len(b) != n*nrhs {
+		return nil, fmt.Errorf("pastix: rhs panel must be n×nrhs = %d×%d", n, nrhs)
+	}
+	pb := make([]float64, len(b))
+	for r := 0; r < nrhs; r++ {
+		for newI, old := range an.inner.Perm {
+			pb[newI+r*n] = b[old+r*n]
+		}
+	}
+	px := f.inner.SolveMany(pb, nrhs)
+	x := make([]float64, len(b))
+	for r := 0; r < nrhs; r++ {
+		for newI, old := range an.inner.Perm {
+			x[old+r*n] = px[newI+r*n]
+		}
+	}
+	return x, nil
+}
+
+// SolveRefined solves A·x = b and applies up to iters steps of iterative
+// refinement, stopping early once the scaled residual reaches refinement
+// stagnation (no further improvement).
+func (an *Analysis) SolveRefined(f *Factor, b []float64, iters int) ([]float64, error) {
+	x, err := an.Solve(f, b)
+	if err != nil {
+		return nil, err
+	}
+	if iters <= 0 {
+		return x, nil
+	}
+	// Work in the permuted system to reuse the internal Refine step.
+	pb := make([]float64, len(b))
+	for newI, old := range an.inner.Perm {
+		pb[newI] = b[old]
+	}
+	px := make([]float64, len(x))
+	for newI, old := range an.inner.Perm {
+		px[newI] = x[old]
+	}
+	res := sparse.Residual(an.inner.A, px, pb)
+	for i := 0; i < iters; i++ {
+		nx := f.inner.Refine(an.inner.A, pb, px)
+		nres := sparse.Residual(an.inner.A, nx, pb)
+		if nres >= res {
+			break
+		}
+		px, res = nx, nres
+	}
+	out := make([]float64, len(x))
+	for newI, old := range an.inner.Perm {
+		out[old] = px[newI]
+	}
+	return out, nil
+}
+
+// Stats summarises the analysis for reporting.
+type Stats struct {
+	N            int     // matrix order
+	NNZA         int     // off-diagonal entries of the triangular part of A
+	ScalarNNZL   int64   // strictly-lower nonzeros of L (scalar count)
+	ScalarOPC    float64 // scalar factorization operation count
+	BlockNNZL    int64   // stored factor entries (block model)
+	ColumnBlocks int     // supernodes after splitting
+	Tasks        int     // static-schedule tasks
+	Cells2D      int     // supernodes with a 2D distribution
+	Processors   int
+	// PredictedTime is the modelled parallel factorization time (seconds) on
+	// the analysis machine profile.
+	PredictedTime float64
+	// LoadImbalance is max/mean modelled busy time across processors.
+	LoadImbalance float64
+	// CommVolume is the modelled cross-processor traffic in bytes.
+	CommVolume int64
+	// MaxMemoryPerProc is the largest per-processor factor storage in bytes
+	// under the schedule's data distribution.
+	MaxMemoryPerProc int64
+}
+
+// Stats reports the analysis metrics (the quantities of the paper's tables).
+func (an *Analysis) Stats() Stats {
+	st := an.inner.Sched.ComputeStats()
+	var maxMem int64
+	for _, m := range an.inner.Sched.MemoryPerProc() {
+		if m > maxMem {
+			maxMem = m
+		}
+	}
+	return Stats{
+		N:                an.inner.A.N,
+		NNZA:             an.inner.A.NNZOffDiag(),
+		ScalarNNZL:       an.inner.ScalarNNZL,
+		ScalarOPC:        an.inner.ScalarOPC,
+		BlockNNZL:        an.inner.Sym.NNZL(),
+		ColumnBlocks:     an.inner.Sym.NumCB(),
+		Tasks:            st.NTasks,
+		Cells2D:          st.N2DCells,
+		Processors:       an.inner.Sched.P,
+		PredictedTime:    an.inner.PredictedTime(),
+		LoadImbalance:    st.LoadImbalance,
+		CommVolume:       st.CommVolume,
+		MaxMemoryPerProc: maxMem,
+	}
+}
+
+// Residual returns the scaled residual ‖Ax−b‖∞/(‖A‖₁‖x‖∞+‖b‖∞).
+func Residual(a *Matrix, x, b []float64) float64 { return sparse.Residual(a, x, b) }
+
+// --- Complex symmetric systems (the paper's motivating class) ---
+
+// ZMatrix is a complex SYMMETRIC (A = Aᵀ, not Hermitian) sparse matrix.
+type ZMatrix = sparse.ZSymMatrix
+
+// ZBuilder assembles a ZMatrix from triplets.
+type ZBuilder = sparse.ZBuilder
+
+// NewZBuilder returns a builder for an n×n complex symmetric matrix.
+func NewZBuilder(n int) *ZBuilder { return sparse.NewZBuilder(n) }
+
+// ZFactor holds a complex LDLᵀ factorization.
+type ZFactor struct {
+	inner *solver.ZFactors
+	an    *solver.Analysis
+}
+
+// AnalyzeComplex runs the analysis on the sparsity pattern of az (ordering,
+// symbolic factorization and scheduling are value-type independent).
+func AnalyzeComplex(az *ZMatrix, opts Options) (*Analysis, error) {
+	if az == nil {
+		return nil, fmt.Errorf("pastix: nil matrix")
+	}
+	if err := az.Validate(); err != nil {
+		return nil, err
+	}
+	return Analyze(az.Pattern(), opts)
+}
+
+// FactorizeComplex computes the complex symmetric LDLᵀ factorization of az,
+// whose pattern must match the analysed matrix. With more than one processor
+// the schedule-driven parallel fan-in runtime is used.
+func (an *Analysis) FactorizeComplex(az *ZMatrix) (*ZFactor, error) {
+	if az == nil || az.N != an.inner.A.N {
+		return nil, fmt.Errorf("pastix: complex matrix shape mismatch")
+	}
+	paz := az.Permute(an.inner.Perm)
+	var zf *solver.ZFactors
+	var err error
+	if an.inner.Sched.P == 1 {
+		zf, err = solver.FactorizeZSeq(paz, an.inner.Sym)
+	} else {
+		zf, err = solver.FactorizeZPar(paz, an.inner.Sched)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &ZFactor{inner: zf, an: an.inner}, nil
+}
+
+// SolveComplex solves A·x = b for the complex system (original ordering).
+func (an *Analysis) SolveComplex(f *ZFactor, b []complex128) ([]complex128, error) {
+	if f == nil || f.an != an.inner {
+		return nil, fmt.Errorf("pastix: complex factor does not belong to this analysis")
+	}
+	if len(b) != an.inner.A.N {
+		return nil, fmt.Errorf("pastix: rhs length %d, matrix order %d", len(b), an.inner.A.N)
+	}
+	pb := make([]complex128, len(b))
+	for newI, old := range an.inner.Perm {
+		pb[newI] = b[old]
+	}
+	px := f.inner.Solve(pb)
+	x := make([]complex128, len(b))
+	for newI, old := range an.inner.Perm {
+		x[old] = px[newI]
+	}
+	return x, nil
+}
+
+// ReadMatrixMarketComplex parses a complex symmetric coordinate Matrix
+// Market stream.
+func ReadMatrixMarketComplex(r io.Reader) (*ZMatrix, error) {
+	return sparse.ReadMatrixMarketComplex(r)
+}
+
+// WriteMatrixMarketComplex writes a complex symmetric matrix in coordinate
+// Matrix Market format.
+func WriteMatrixMarketComplex(w io.Writer, a *ZMatrix, comment string) error {
+	return sparse.WriteMatrixMarketComplex(w, a, comment)
+}
+
+// ZResidual returns the scaled residual of a complex system.
+func ZResidual(a *ZMatrix, x, b []complex128) float64 { return sparse.ZResidual(a, x, b) }
+
+// WriteScheduleGantt renders a textual Gantt chart of the static schedule
+// (one row per processor, time binned into width columns).
+func (an *Analysis) WriteScheduleGantt(w io.Writer, width int) error {
+	return an.inner.Sched.WriteGantt(w, width)
+}
+
+// WriteScheduleCSV dumps the static schedule as CSV (one row per task:
+// rank, processor, type, cell, block indices, modelled start/end times).
+func (an *Analysis) WriteScheduleCSV(w io.Writer) error {
+	return an.inner.Sched.WriteCSV(w)
+}
+
+// PhaseTimes returns the analysis phase durations: ordering,
+// elimination-tree/supernode work, block symbolic factorization, and
+// mapping+scheduling.
+func (an *Analysis) PhaseTimes() [4]time.Duration {
+	return [4]time.Duration{
+		an.inner.OrderTime, an.inner.TreeTime, an.inner.SymbolicTime, an.inner.SchedTime,
+	}
+}
+
+// WriteScheduleSummary prints a human-readable account of the schedule:
+// task mix, load/memory balance, communication volume and the critical-path
+// composition.
+func (an *Analysis) WriteScheduleSummary(w io.Writer) error {
+	return an.inner.Sched.WriteSummary(w)
+}

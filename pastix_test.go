@@ -1,0 +1,347 @@
+package pastix
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"github.com/pastix-go/pastix/internal/gen"
+)
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	a := gen.Laplacian2D(14, 14)
+	an, err := Analyze(a, Options{Processors: 4, BlockSize: 16, Ratio2D: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := an.Factorize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, b := gen.RHSForSolution(a)
+	got, err := an.Solve(f, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(got[i]-x[i]) > 1e-9 {
+			t.Fatalf("x[%d]=%g want %g", i, got[i], x[i])
+		}
+	}
+	if r := Residual(a, got, b); r > 1e-12 {
+		t.Fatalf("residual %g", r)
+	}
+}
+
+func TestPublicStats(t *testing.T) {
+	a := gen.Laplacian2D(16, 16)
+	an, err := Analyze(a, Options{Processors: 8, BlockSize: 16, Ratio2D: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := an.Stats()
+	if st.N != a.N || st.NNZA != a.NNZOffDiag() {
+		t.Fatal("basic shape stats wrong")
+	}
+	if st.ScalarNNZL <= 0 || st.ScalarOPC <= 0 || st.BlockNNZL < st.ScalarNNZL {
+		t.Fatalf("fill stats inconsistent: %+v", st)
+	}
+	if st.Processors != 8 || st.Tasks <= st.ColumnBlocks/2 {
+		t.Fatalf("schedule stats inconsistent: %+v", st)
+	}
+	if st.PredictedTime <= 0 {
+		t.Fatal("predicted time missing")
+	}
+	if st.LoadImbalance < 1 || st.MaxMemoryPerProc <= 0 {
+		t.Fatalf("balance stats missing: %+v", st)
+	}
+	if st.CommVolume <= 0 {
+		t.Fatal("comm volume missing for P=8")
+	}
+}
+
+func TestPublicAPIErrors(t *testing.T) {
+	if _, err := Analyze(nil, Options{}); err == nil {
+		t.Fatal("nil matrix must error")
+	}
+	a := gen.Laplacian2D(5, 5)
+	if _, err := Analyze(a, Options{Ordering: OrderingMethod(99)}); err == nil {
+		t.Fatal("unknown ordering must error")
+	}
+	an, err := Analyze(a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := an.Factorize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := an.Solve(f, make([]float64, 3)); err == nil {
+		t.Fatal("wrong rhs length must error")
+	}
+	other, _ := Analyze(a, Options{})
+	if _, err := other.Solve(f, make([]float64, a.N)); err == nil {
+		t.Fatal("foreign factor must error")
+	}
+}
+
+func TestPublicOrderingMethods(t *testing.T) {
+	a := gen.Laplacian2D(10, 10)
+	_, b := gen.RHSForSolution(a)
+	for _, m := range []OrderingMethod{OrderScotchLike, OrderMetisLike, OrderAMD, OrderNatural} {
+		an, err := Analyze(a, Options{Ordering: m})
+		if err != nil {
+			t.Fatalf("%d: %v", m, err)
+		}
+		f, err := an.Factorize()
+		if err != nil {
+			t.Fatalf("%d: %v", m, err)
+		}
+		x, err := an.Solve(f, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := Residual(a, x, b); r > 1e-12 {
+			t.Fatalf("%d: residual %g", m, r)
+		}
+	}
+}
+
+func TestRSAThroughPublicAPI(t *testing.T) {
+	a := gen.Laplacian2D(6, 6)
+	var buf bytes.Buffer
+	if err := WriteRSA(&buf, a, "laplacian"); err != nil {
+		t.Fatal(err)
+	}
+	got, title, err := ReadRSA(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if title != "laplacian" || got.N != a.N {
+		t.Fatalf("round trip: %q n=%d", title, got.N)
+	}
+}
+
+func TestSolveParallelAndRefined(t *testing.T) {
+	a := gen.Laplacian2D(16, 16)
+	an, err := Analyze(a, Options{Processors: 4, BlockSize: 16, Ratio2D: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := an.Factorize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, b := gen.RHSForSolution(a)
+	seq, err := an.Solve(f, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := an.SolveParallel(f, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if math.Abs(seq[i]-par[i]) > 1e-11*(1+math.Abs(seq[i])) {
+			t.Fatalf("parallel solve differs at %d", i)
+		}
+	}
+	ref, err := an.SolveRefined(f, b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(ref[i]-x[i]) > 1e-10 {
+			t.Fatalf("refined solve off at %d", i)
+		}
+	}
+	if Residual(a, ref, b) > Residual(a, seq, b)*1.0001 {
+		t.Fatal("refinement worsened the residual")
+	}
+}
+
+func TestComplexPublicAPI(t *testing.T) {
+	n := 8 * 8
+	zb := NewZBuilder(n)
+	for j := 0; j < 8; j++ {
+		for i := 0; i < 8; i++ {
+			v := i + j*8
+			zb.Add(v, v, complex(4.5, 1.0))
+			if i+1 < 8 {
+				zb.Add(v, v+1, complex(-1, 0.1))
+			}
+			if j+1 < 8 {
+				zb.Add(v, v+8, complex(-1, -0.1))
+			}
+		}
+	}
+	az := zb.Build()
+	an, err := AnalyzeComplex(az, Options{Processors: 3, BlockSize: 8, Ratio2D: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zf, err := an.FactorizeComplex(az)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(float64(i%4), -float64(i%3))
+	}
+	b := make([]complex128, n)
+	az.MatVec(x, b)
+	got, err := an.SolveComplex(zf, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if d := got[i] - x[i]; real(d)*real(d)+imag(d)*imag(d) > 1e-18 {
+			t.Fatalf("x[%d]=%v want %v", i, got[i], x[i])
+		}
+	}
+	if r := ZResidual(az, got, b); r > 1e-12 {
+		t.Fatalf("residual %g", r)
+	}
+	// Error paths.
+	other, _ := Analyze(gen.Laplacian2D(8, 8), Options{})
+	if _, err := other.SolveComplex(zf, b); err == nil {
+		t.Fatal("foreign complex factor must error")
+	}
+	if _, err := an.SolveComplex(zf, make([]complex128, 3)); err == nil {
+		t.Fatal("bad rhs length must error")
+	}
+}
+
+func TestSolveManyPublic(t *testing.T) {
+	a := gen.Laplacian2D(10, 10)
+	an, err := Analyze(a, Options{Processors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := an.Factorize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := a.N
+	const nrhs = 3
+	b := make([]float64, n*nrhs)
+	for i := range b {
+		b[i] = float64(i%13) - 6
+	}
+	got, err := an.SolveMany(f, b, nrhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < nrhs; r++ {
+		want, err := an.Solve(f, b[r*n:(r+1)*n])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if math.Abs(got[i+r*n]-want[i]) > 1e-11*(1+math.Abs(want[i])) {
+				t.Fatalf("rhs %d x[%d]", r, i)
+			}
+		}
+	}
+	if _, err := an.SolveMany(f, b, 0); err == nil {
+		t.Fatal("nrhs=0 must error")
+	}
+	if _, err := an.SolveMany(f, b[:n], nrhs); err == nil {
+		t.Fatal("short panel must error")
+	}
+}
+
+func TestSchurComplementPublic(t *testing.T) {
+	a := gen.Laplacian2D(8, 8)
+	var iface []int
+	for j := 0; j < 8; j++ {
+		iface = append(iface, 4+j*8) // middle grid column
+	}
+	s, vars, err := SchurComplement(a, iface, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := len(iface)
+	if len(s) != ns*ns || len(vars) != ns {
+		t.Fatalf("shapes: %d, %d", len(s), len(vars))
+	}
+	// Symmetric, diagonally positive.
+	for i := 0; i < ns; i++ {
+		if s[i+i*ns] <= 0 {
+			t.Fatalf("S diagonal %d not positive", i)
+		}
+		for j := 0; j < ns; j++ {
+			if math.Abs(s[i+j*ns]-s[j+i*ns]) > 1e-12 {
+				t.Fatal("S not symmetric")
+			}
+		}
+	}
+}
+
+func TestPublicMiscCoverage(t *testing.T) {
+	// Builders.
+	eb := NewElementBuilder(3)
+	eb.AddElement([]int{0, 1}, []float64{1, -1, -1, 1})
+	m := eb.Build()
+	if m.At(0, 0) != 1 {
+		t.Fatal("element builder")
+	}
+	nb := NewBuilder(2)
+	nb.Add(0, 0, 1)
+	nb.Add(1, 1, 1)
+	_ = nb.Build()
+
+	// Matrix Market through the facade.
+	a := gen.Laplacian2D(5, 5)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, a, "mm facade"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != a.N {
+		t.Fatal("mm round trip")
+	}
+
+	// Schedule reporting + phase times.
+	an, err := Analyze(a, Options{Processors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g, c, s bytes.Buffer
+	if err := an.WriteScheduleGantt(&g, 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := an.WriteScheduleCSV(&c); err != nil {
+		t.Fatal(err)
+	}
+	if err := an.WriteScheduleSummary(&s); err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() == 0 || c.Len() == 0 || s.Len() == 0 {
+		t.Fatal("empty reports")
+	}
+	ph := an.PhaseTimes()
+	total := ph[0] + ph[1] + ph[2] + ph[3]
+	if total <= 0 {
+		t.Fatal("phase times missing")
+	}
+
+	// AnalyzeComplex error paths.
+	if _, err := AnalyzeComplex(nil, Options{}); err == nil {
+		t.Fatal("nil complex matrix must error")
+	}
+	badZ := &ZMatrix{N: 1, ColPtr: []int{0, 0}}
+	if _, err := AnalyzeComplex(badZ, Options{}); err == nil {
+		t.Fatal("invalid complex matrix must error")
+	}
+	zf := &ZFactor{}
+	if _, err := an.FactorizeComplex(nil); err == nil {
+		t.Fatal("nil complex factorize must error")
+	}
+	if _, err := an.SolveComplex(zf, make([]complex128, a.N)); err == nil {
+		t.Fatal("foreign complex factor must error")
+	}
+}
