@@ -1,0 +1,33 @@
+# Tiered checks for pastix-go. Stdlib only; the targets just wrap the go
+# tool so CI and humans run the exact same commands.
+
+GO ?= go
+
+.PHONY: all build test race bench vet check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Tier-2: the whole suite under the race detector. The shared-memory
+# runtime (FactorizeShared/SolveShared) and the mpsim message runtime are
+# concurrency-heavy; the stress tests are written to be meaningful here.
+# -short keeps the stress loops at a size the detector finishes quickly;
+# drop it for the full soak.
+race:
+	$(GO) test -race -short ./...
+
+race-full:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+check: build vet test race

@@ -25,6 +25,7 @@ import (
 	"github.com/pastix-go/pastix/internal/cost"
 	"github.com/pastix-go/pastix/internal/gen"
 	"github.com/pastix-go/pastix/internal/multifrontal"
+	"github.com/pastix-go/pastix/internal/part"
 	"github.com/pastix-go/pastix/internal/solver"
 	"github.com/pastix-go/pastix/internal/sparse"
 )
@@ -33,7 +34,18 @@ import (
 // cmd/pastix-bench -scale for larger reproductions.
 const benchScale = 0.1
 
+// skipIfShort keeps `go test -bench=. -short` to the light kernel
+// benchmarks: the full-matrix families re-run the analysis pipeline every
+// iteration and dominate the suite's wall-clock.
+func skipIfShort(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("heavy benchmark; run without -short")
+	}
+}
+
 func BenchmarkTable1(b *testing.B) {
+	skipIfShort(b)
 	for _, name := range gen.Names() {
 		b.Run(name, func(b *testing.B) {
 			var an *solver.Analysis
@@ -52,6 +64,7 @@ func BenchmarkTable1(b *testing.B) {
 }
 
 func BenchmarkTable2(b *testing.B) {
+	skipIfShort(b)
 	mach := cost.SP2()
 	for _, name := range gen.Names() {
 		for _, p := range []int{1, 4, 16, 64} {
@@ -111,6 +124,7 @@ func BenchmarkDenseKernels(b *testing.B) {
 }
 
 func BenchmarkFactorization(b *testing.B) {
+	skipIfShort(b)
 	for _, name := range []string{"THREAD", "QUER", "SHIP003"} {
 		for _, p := range []int{1, 2, 4, 8} {
 			b.Run(fmt.Sprintf("%s/P%d", name, p), func(b *testing.B) {
@@ -131,6 +145,7 @@ func BenchmarkFactorization(b *testing.B) {
 }
 
 func BenchmarkAblation(b *testing.B) {
+	skipIfShort(b)
 	for _, p := range []int{8, 32} {
 		b.Run(fmt.Sprintf("BMWCRA1/P%d", p), func(b *testing.B) {
 			var row bench.AblationRow
@@ -168,6 +183,7 @@ func BenchmarkSolve(b *testing.B) {
 }
 
 func BenchmarkSolveVariants(b *testing.B) {
+	skipIfShort(b)
 	an, err := bench.PastixAnalysis("QUER", benchScale, 4)
 	if err != nil {
 		b.Fatal(err)
@@ -206,6 +222,7 @@ func BenchmarkSolveVariants(b *testing.B) {
 }
 
 func BenchmarkFanInVsFanOut(b *testing.B) {
+	skipIfShort(b)
 	prob, err := gen.Generate("BMWCRA1", benchScale)
 	if err != nil {
 		b.Fatal(err)
@@ -239,6 +256,7 @@ func BenchmarkFanInVsFanOut(b *testing.B) {
 }
 
 func BenchmarkComplexFactorization(b *testing.B) {
+	skipIfShort(b)
 	// Complex symmetric LDLᵀ costs ≈4× the real flops per entry; compare.
 	prob, err := gen.Generate("THREAD", benchScale)
 	if err != nil {
@@ -275,4 +293,39 @@ func BenchmarkComplexFactorization(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkSharedVsMpsim times the executed factorization of a 3D Poisson
+// problem under the two runtimes at each processor count: the mpsim
+// message-passing runtime pays for packing, copying and the final gather;
+// the shared-memory runtime aggregates in place. Message volume is attached
+// to the mpsim rows as custom metrics.
+func BenchmarkSharedVsMpsim(b *testing.B) {
+	a := gen.Laplacian3D(12, 12, 12)
+	for _, p := range []int{1, 2, 4, 8} {
+		an, err := solver.Analyze(a, solver.Options{
+			P:    p,
+			Part: part.Options{BlockSize: 16, Ratio2D: 2, MinWidth2D: 8},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("Mpsim/P%d", p), func(b *testing.B) {
+			var st solver.CommStats
+			for i := 0; i < b.N; i++ {
+				if _, st, err = solver.FactorizeParStats(an.A, an.Sched, solver.ParOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(st.Messages), "msgs")
+			b.ReportMetric(float64(st.Bytes), "bytes")
+		})
+		b.Run(fmt.Sprintf("Shared/P%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := solver.FactorizeShared(an.A, an.Sched); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

@@ -4,6 +4,7 @@
 //	pastix-bench -table2              # Table 2: time/Gflops, PaStiX vs PSPASES
 //	pastix-bench -dense               # §3 dense LLᵀ vs LDLᵀ kernel comparison
 //	pastix-bench -ablate              # §2 scheduling/distribution ablations
+//	pastix-bench -sharedcmp           # shared-memory vs mpsim runtime, executed
 //	pastix-bench -all -scale 0.25     # everything, at a chosen problem scale
 //
 // Times in Table 2 are modelled on the IBM SP2 (Power2SC) machine profile —
@@ -12,9 +13,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -36,12 +40,17 @@ func main() {
 		scale  = flag.Float64("scale", bench.DefaultScale, "problem scale (1.0 ≈ 1/8 of the paper's DOF)")
 		procsF = flag.String("procs", "1,2,4,8,16,32,64", "processor counts for Table 2")
 		denseN = flag.Int("densen", 512, "dense kernel order (paper used 1024)")
+
+		sharedCmp  = flag.Bool("sharedcmp", false, "compare shared-memory vs message-passing runtime (executed, 3D Poisson)")
+		sharedGrid = flag.Int("sharedgrid", 14, "Poisson grid edge for -sharedcmp (n³ unknowns)")
+		sharedReps = flag.Int("sharedreps", 5, "timing repetitions per point for -sharedcmp (best kept)")
+		jsonOut    = flag.String("json", "", "also write -sharedcmp rows as JSON to this file")
 	)
 	flag.Parse()
 	if *all {
 		*table1, *table2, *dense, *ablate = true, true, true, true
 	}
-	if !*table1 && !*table2 && !*dense && !*ablate && *plot == "" && *bsweep == "" {
+	if !*table1 && !*table2 && !*dense && !*ablate && !*sharedCmp && *plot == "" && *bsweep == "" {
 		flag.Usage()
 		return
 	}
@@ -106,6 +115,38 @@ func main() {
 		fmt.Printf("%6s %12s %9s %12s\n", "bs", "blockNNZ_L", "tasks", "model time")
 		for _, r := range rows {
 			fmt.Printf("%6d %12d %9d %11.4fs\n", r.BlockSize, r.BlockNNZL, r.Tasks, r.ModelTime)
+		}
+		fmt.Println()
+	}
+	if *sharedCmp {
+		g := *sharedGrid
+		// Unlike the modelled tables, this comparison executes on goroutine
+		// processors and times the host. The axis runs over powers of two up
+		// to 8 (the paper's interesting range) and on larger hosts continues
+		// to NumCPU.
+		axis := []int{1, 2, 4, 8}
+		for p := 16; p <= runtime.NumCPU(); p *= 2 {
+			axis = append(axis, p)
+		}
+		fmt.Printf("== shared-memory vs mpsim runtime, executed %d³ Poisson (best of %d) ==\n", g, *sharedReps)
+		rows, err := bench.CompareRuntimes(g, g, g, axis, *sharedReps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(bench.FormatRuntimes(rows))
+		if *jsonOut != "" {
+			data, err := json.MarshalIndent(struct {
+				Grid int                `json:"grid"`
+				Reps int                `json:"reps"`
+				Rows []bench.RuntimeRow `json:"rows"`
+			}{g, *sharedReps, rows}, "", "  ")
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("rows written to %s\n", *jsonOut)
 		}
 		fmt.Println()
 	}

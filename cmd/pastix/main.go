@@ -33,6 +33,7 @@ func main() {
 		procs     = flag.Int("p", 1, "number of virtual processors")
 		ordering  = flag.String("ordering", "scotch", "ordering: scotch, metis, amd, natural")
 		blockSize = flag.Int("bs", 64, "BLAS blocking size")
+		runtime   = flag.String("runtime", "mpsim", "factorization runtime: mpsim (message-passing) or shared (zero-copy shared memory)")
 		calibrate = flag.Bool("calibrate", false, "calibrate the cost model on this host")
 		gantt     = flag.Bool("gantt", false, "print a Gantt chart of the static schedule")
 		stats     = flag.Bool("stats", false, "print a detailed schedule summary")
@@ -60,12 +61,22 @@ func main() {
 		log.Fatalf("unknown ordering %q", *ordering)
 	}
 
+	var shared bool
+	switch *runtime {
+	case "mpsim":
+	case "shared":
+		shared = true
+	default:
+		log.Fatalf("unknown runtime %q (want mpsim or shared)", *runtime)
+	}
+
 	start := time.Now()
 	an, err := pastix.Analyze(a, pastix.Options{
 		Processors:       *procs,
 		Ordering:         method,
 		BlockSize:        *blockSize,
 		CalibrateMachine: *calibrate,
+		SharedMemory:     shared,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -113,8 +124,8 @@ func main() {
 		log.Fatal(err)
 	}
 	tFactor := time.Since(start)
-	fmt.Printf("factorize: %.3fs wall (%.2f GFlop/s on OPC)\n",
-		tFactor.Seconds(), st.ScalarOPC/tFactor.Seconds()/1e9)
+	fmt.Printf("factorize: %.3fs wall (%.2f GFlop/s on OPC, %s runtime)\n",
+		tFactor.Seconds(), st.ScalarOPC/tFactor.Seconds()/1e9, *runtime)
 
 	// Solve against b = A·x_ref and report the error.
 	xref, b := gen.RHSForSolution(a)

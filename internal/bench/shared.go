@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"github.com/pastix-go/pastix/internal/gen"
+	"github.com/pastix-go/pastix/internal/order"
+	"github.com/pastix-go/pastix/internal/part"
+	"github.com/pastix-go/pastix/internal/solver"
+)
+
+// RuntimeRow is one processor count of the shared-memory vs message-passing
+// runtime comparison: wall-clock of the executed factorization under each
+// runtime (best of the measured repetitions), the resulting speedup, and the
+// communication volume the message runtime paid that the shared runtime
+// avoided entirely.
+type RuntimeRow struct {
+	P         int     `json:"p"`
+	MpsimSec  float64 `json:"mpsim_sec"`
+	SharedSec float64 `json:"shared_sec"`
+	Speedup   float64 `json:"speedup"`
+	Messages  int64   `json:"messages"`
+	Bytes     int64   `json:"bytes"`
+	MaxDiff   float64 `json:"max_rel_diff"` // shared vs sequential factor
+}
+
+// runtimeCmpPart is the blocking used by the runtime comparison: small
+// blocks and an aggressive 1D/2D switch, so the schedule carries the full
+// mix of COMP1D/FACTOR/BDIV/BMOD tasks and a realistic message volume. With
+// large blocks the dense kernels dwarf the communication under either
+// runtime and the comparison measures nothing.
+var runtimeCmpPart = part.Options{BlockSize: 16, Ratio2D: 2, MinWidth2D: 8}
+
+// CompareRuntimes factorizes the nx×ny×nz Poisson problem (7-point stencil,
+// the paper-style regular 3D test case) over the given processor axis with
+// both runtimes. Each timing is the best of reps repetitions; each shared
+// factor is validated entry-wise against the sequential reference so the
+// speedup never comes at the cost of the numbers.
+func CompareRuntimes(nx, ny, nz int, procs []int, reps int) ([]RuntimeRow, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	a := gen.Laplacian3D(nx, ny, nz)
+	refAn, err := solver.Analyze(a, solver.Options{
+		P:        1,
+		Ordering: order.Options{Method: order.ScotchLike},
+		Part:     runtimeCmpPart,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ref, err := solver.FactorizeSeq(refAn.A, refAn.Sym)
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]RuntimeRow, 0, len(procs))
+	for _, p := range procs {
+		an, err := solver.Analyze(a, solver.Options{
+			P:        p,
+			Ordering: order.Options{Method: order.ScotchLike},
+			Part:     runtimeCmpPart,
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := RuntimeRow{P: p, MpsimSec: math.Inf(1), SharedSec: math.Inf(1)}
+		for r := 0; r < reps; r++ {
+			t0 := time.Now()
+			_, stats, err := solver.FactorizeParStats(an.A, an.Sched, solver.ParOptions{})
+			if err != nil {
+				return nil, fmt.Errorf("mpsim P=%d: %w", p, err)
+			}
+			if s := time.Since(t0).Seconds(); s < row.MpsimSec {
+				row.MpsimSec = s
+			}
+			row.Messages, row.Bytes = stats.Messages, stats.Bytes
+
+			t0 = time.Now()
+			f, err := solver.FactorizeShared(an.A, an.Sched)
+			if err != nil {
+				return nil, fmt.Errorf("shared P=%d: %w", p, err)
+			}
+			if s := time.Since(t0).Seconds(); s < row.SharedSec {
+				row.SharedSec = s
+			}
+			if r == 0 {
+				if row.MaxDiff = maxRelDiff(ref, f); row.MaxDiff > 1e-11 {
+					return nil, fmt.Errorf("shared P=%d: factor differs from sequential by %g", p, row.MaxDiff)
+				}
+			}
+		}
+		row.Speedup = row.MpsimSec / row.SharedSec
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func maxRelDiff(a, b *solver.Factors) float64 {
+	m := 0.0
+	for k := range a.Data {
+		for i := range a.Data[k] {
+			d := math.Abs(a.Data[k][i]-b.Data[k][i]) / (1 + math.Abs(a.Data[k][i]))
+			if d > m {
+				m = d
+			}
+		}
+	}
+	return m
+}
+
+// FormatRuntimes renders the comparison as an aligned text table.
+func FormatRuntimes(rows []RuntimeRow) string {
+	var sb strings.Builder
+	sb.WriteString("  P   mpsim (s)  shared (s)  speedup   messages       bytes\n")
+	for _, r := range rows {
+		sb.WriteString(fmt.Sprintf("%3d   %9.4f   %9.4f   %6.2fx   %8d  %10d\n",
+			r.P, r.MpsimSec, r.SharedSec, r.Speedup, r.Messages, r.Bytes))
+	}
+	return sb.String()
+}

@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompareRuntimesShape(t *testing.T) {
+	rows, err := CompareRuntimes(8, 8, 8, []int{1, 2, 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for i, r := range rows {
+		if r.P != []int{1, 2, 4}[i] {
+			t.Fatalf("row %d: P=%d", i, r.P)
+		}
+		if r.MpsimSec <= 0 || r.SharedSec <= 0 {
+			t.Fatalf("row P=%d: non-positive timings %+v", r.P, r)
+		}
+		if r.Speedup != r.MpsimSec/r.SharedSec {
+			t.Fatalf("row P=%d: inconsistent speedup", r.P)
+		}
+		if r.MaxDiff > 1e-11 {
+			t.Fatalf("row P=%d: shared factor off by %g", r.P, r.MaxDiff)
+		}
+		// The validation inside CompareRuntimes already failed the run if the
+		// factor drifted; message traffic must appear once P > 1.
+		if r.P > 1 && (r.Messages == 0 || r.Bytes == 0) {
+			t.Fatalf("row P=%d: no message traffic recorded (%+v)", r.P, r)
+		}
+		if r.P == 1 && r.Messages != 0 {
+			t.Fatalf("P=1 sent %d messages", r.Messages)
+		}
+	}
+	out := FormatRuntimes(rows)
+	if !strings.Contains(out, "speedup") || len(strings.Split(strings.TrimSpace(out), "\n")) != 4 {
+		t.Fatalf("unexpected table:\n%s", out)
+	}
+}

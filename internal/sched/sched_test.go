@@ -256,3 +256,57 @@ func TestReplayDeterministicAndMatchesSP2(t *testing.T) {
 		t.Fatalf("ReplayOn(SP2) %g != Replay %g", r3, r1)
 	}
 }
+
+// InDegrees must agree with the edge lists and describe an executable DAG:
+// every positive-indegree task has all its predecessors at strictly lower
+// rank, and topologically releasing tasks by counter reaches every task (the
+// invariant the shared-memory runtime's dependency gates rely on).
+func TestInDegreesMatchEdges(t *testing.T) {
+	a := testMatrix(t, "QUER", 0.04)
+	for _, P := range []int{1, 3, 8} {
+		_, sch := buildSchedule(t, a, P, 24)
+		in := sch.InDegrees()
+		if len(in) != len(sch.Tasks) {
+			t.Fatalf("P=%d: %d indegrees for %d tasks", P, len(in), len(sch.Tasks))
+		}
+		// Recount independently.
+		want := make([]int32, len(sch.Tasks))
+		nEdges := 0
+		for i := range sch.Tasks {
+			for _, e := range sch.Tasks[i].Outs {
+				want[e.Dst]++
+				nEdges++
+			}
+		}
+		for i := range want {
+			if in[i] != want[i] {
+				t.Fatalf("P=%d task %d: indegree %d, edges say %d", P, i, in[i], want[i])
+			}
+		}
+		if nEdges == 0 && P > 1 {
+			t.Fatalf("P=%d: schedule has no edges", P)
+		}
+		// Kahn propagation by the counters must consume every task.
+		rem := append([]int32(nil), in...)
+		queue := []int{}
+		for i, r := range rem {
+			if r == 0 {
+				queue = append(queue, i)
+			}
+		}
+		released := 0
+		for len(queue) > 0 {
+			id := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			released++
+			for _, e := range sch.Tasks[id].Outs {
+				if rem[e.Dst]--; rem[e.Dst] == 0 {
+					queue = append(queue, e.Dst)
+				}
+			}
+		}
+		if released != len(sch.Tasks) {
+			t.Fatalf("P=%d: counter release reached %d of %d tasks", P, released, len(sch.Tasks))
+		}
+	}
+}

@@ -143,10 +143,20 @@ func Analyze(a *sparse.SymMatrix, opts Options) (*Analysis, error) {
 // otherwise with the schedule-driven parallel fan-in solver on P goroutine
 // processors.
 func (an *Analysis) Factorize() (*Factors, error) {
+	return an.FactorizeOpts(ParOptions{})
+}
+
+// FactorizeOpts is Factorize with an explicit runtime selection: the
+// message-passing fan-in/fan-both runtime (default, sequential for P == 1)
+// or the zero-copy shared-memory runtime (popts.SharedMemory).
+func (an *Analysis) FactorizeOpts(popts ParOptions) (*Factors, error) {
+	if popts.SharedMemory {
+		return FactorizeShared(an.A, an.Sched)
+	}
 	if an.Sched.P == 1 {
 		return FactorizeSeq(an.A, an.Sym)
 	}
-	return FactorizePar(an.A, an.Sched)
+	return FactorizeParOpts(an.A, an.Sched, popts)
 }
 
 // SolveOriginal solves A·x = b in the ORIGINAL ordering: b is permuted in,

@@ -27,6 +27,11 @@ type ParOptions struct {
 	// sent with partial aggregation to free memory space; this is close to
 	// the Fan-Both scheme"). Zero means unbounded (pure fan-in).
 	MaxAUBBytes int64
+	// SharedMemory selects the zero-copy shared-memory runtime
+	// (FactorizeShared): the same static schedule executed with direct
+	// in-place aggregation instead of message copies. No messages are sent,
+	// so MaxAUBBytes is ignored and CommStats comes back empty.
+	SharedMemory bool
 }
 
 // CommStats reports the communication volume of an executed parallel
@@ -40,6 +45,10 @@ type CommStats struct {
 	// diagonal-block and panel transfers. With MaxAUBBytes unset the executed
 	// count equals this exactly.
 	PredictedMessages int64
+	// PeakAUBBytes is the largest memory any processor held in aggregation
+	// buffers at once. Lowering ParOptions.MaxAUBBytes can only lower it
+	// (the fan-both trade: more messages for less memory).
+	PeakAUBBytes int64
 }
 
 // FactorizePar runs the supernodal fan-in LDLᵀ factorization on sch.P
@@ -126,12 +135,17 @@ func buildProtocol(sch *sched.Schedule) *protocol {
 
 // FactorizeParStats is FactorizeParOpts returning communication statistics.
 func FactorizeParStats(a *sparse.SymMatrix, sch *sched.Schedule, popts ParOptions) (*Factors, CommStats, error) {
+	if popts.SharedMemory {
+		f, err := FactorizeShared(a, sch)
+		return f, CommStats{}, err
+	}
 	sym := sch.Sym()
 	P := sch.P
 	pr := buildProtocol(sch)
 	nAUBmsgs, sendTo, needF, needDiag := pr.nAUBmsgs, pr.sendTo, pr.needF, pr.needDiag
 
 	stores := make([]*Factors, P)
+	peaks := make([]int64, P)
 	comm := mpsim.NewComm(P)
 	predicted := pr.predicted
 	runErr := comm.Run(func(p int) error {
@@ -158,10 +172,17 @@ func FactorizeParStats(a *sparse.SymMatrix, sch *sched.Schedule, popts ParOption
 				st.aubRem[k.dt] = c
 			}
 		}
-		return st.run(a)
+		err := st.run(a)
+		peaks[p] = st.peakAUB
+		return err
 	})
 	msgs, bytes, inflight := comm.Stats()
 	stats := CommStats{Messages: msgs, Bytes: bytes, MaxInFlight: inflight, PredictedMessages: predicted}
+	for p := 0; p < P; p++ {
+		if peaks[p] > stats.PeakAUBBytes {
+			stats.PeakAUBBytes = peaks[p]
+		}
+	}
 	if runErr != nil {
 		return nil, stats, runErr
 	}
@@ -200,6 +221,7 @@ type procState struct {
 	comm *mpsim.Comm
 
 	aubBytes int64 // bytes currently held in aggregation buffers
+	peakAUB  int64 // high-water mark of aubBytes (after any spill)
 
 	// aubBuf holds negated contribution accumulators per destination task,
 	// keyed inside by target region (0 = the diagonal block of the target
@@ -607,6 +629,9 @@ func (st *procState) routePair(k, s, t int, ws []float64, lda int, wt []float64,
 			regions[region] = buf
 			st.aubBytes += int64(len(buf)) * 8
 			st.spill(dt)
+			if st.aubBytes > st.peakAUB {
+				st.peakAUB = st.aubBytes
+			}
 		}
 		ldc = rows
 		dst = buf[lr+lc*ldc:]
@@ -664,7 +689,10 @@ func (st *procState) spill(keep int) {
 	for st.aubBytes > st.opts.MaxAUBBytes {
 		victim, size := -1, 0
 		for dt, regions := range st.aubBuf {
-			if s := regionsSize(regions); dt != keep && s > size {
+			// Largest buffer first; ties broken by task id so the spill
+			// sequence (and hence the peak-memory stat) is deterministic
+			// despite map iteration order.
+			if s := regionsSize(regions); dt != keep && (s > size || (s == size && victim >= 0 && dt < victim)) {
 				victim, size = dt, s
 			}
 		}

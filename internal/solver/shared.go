@@ -1,0 +1,318 @@
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/pastix-go/pastix/internal/blas"
+	"github.com/pastix-go/pastix/internal/sched"
+	"github.com/pastix-go/pastix/internal/sparse"
+)
+
+// This file implements the shared-memory execution of the static schedule:
+// the same per-processor K_p task vectors as FactorizePar, but with direct
+// in-place aggregation into one shared Factors storage instead of mpsim
+// message copies. AUBs, solved panels and diagonal blocks are never
+// serialized or duplicated — a contribution is a GEMM straight into the
+// destination region, a panel or diagonal read is a slice of the shared
+// array. Task ordering is enforced by per-task dependency counters
+// (sched.InDegrees) with close-only ready channels, and concurrent
+// contributions into one destination region are serialized by a per-task
+// mutex. The message-passing runtime remains as the paper-faithful ablation
+// baseline; see DESIGN.md for the contrast.
+
+// errSharedAborted unblocks gate waiters after a peer failed; the peer's
+// root-cause error is reported in preference to it.
+var errSharedAborted = errors.New("solver: shared runtime aborted")
+
+// taskGate is the completion signal of one task: remaining counts the
+// incoming dependency edges not yet satisfied; ready is closed when the
+// count reaches zero.
+type taskGate struct {
+	remaining atomic.Int32
+	ready     chan struct{}
+}
+
+// sharedRun is the state shared by all goroutine processors of one
+// FactorizeShared execution.
+type sharedRun struct {
+	sch   *sched.Schedule
+	f     *Factors     // the one shared factor storage (fully allocated)
+	gates []taskGate   // per task
+	locks []sync.Mutex // per task: serializes contributions into its region
+	invd  [][]float64  // per cell: 1/D, published by the FACTOR task
+
+	abort     chan struct{} // closed on first error to unblock gate waiters
+	abortOnce sync.Once
+}
+
+func (sr *sharedRun) fail() { sr.abortOnce.Do(func() { close(sr.abort) }) }
+
+// wait blocks until task id's gate opens (all dependencies satisfied) or the
+// run aborts.
+func (sr *sharedRun) wait(id int) error {
+	select {
+	case <-sr.gates[id].ready:
+		return nil
+	default:
+	}
+	select {
+	case <-sr.gates[id].ready:
+		return nil
+	case <-sr.abort:
+		return errSharedAborted
+	}
+}
+
+// done marks task id complete, decrementing every successor's gate. A
+// decrement to zero closes the successor's ready channel; together with the
+// sequentially consistent atomics this hands the successor a happens-before
+// edge over everything its predecessors wrote.
+func (sr *sharedRun) done(id int) {
+	for _, e := range sr.sch.Tasks[id].Outs {
+		if sr.gates[e.Dst].remaining.Add(-1) == 0 {
+			close(sr.gates[e.Dst].ready)
+		}
+	}
+}
+
+// FactorizeShared runs the supernodal LDLᵀ factorization on sch.P goroutine
+// processors over ONE shared factor storage: the exact task vectors and
+// dependency structure of the static schedule, executed zero-copy. The
+// result equals FactorizeSeq to rounding and needs no gather step.
+func FactorizeShared(a *sparse.SymMatrix, sch *sched.Schedule) (*Factors, error) {
+	sym := sch.Sym()
+	sr := &sharedRun{
+		sch:   sch,
+		f:     NewFactors(sym),
+		gates: make([]taskGate, len(sch.Tasks)),
+		locks: make([]sync.Mutex, len(sch.Tasks)),
+		invd:  make([][]float64, sym.NumCB()),
+		abort: make(chan struct{}),
+	}
+	for i, d := range sch.InDegrees() {
+		sr.gates[i].ready = make(chan struct{})
+		sr.gates[i].remaining.Store(d)
+		if d == 0 {
+			close(sr.gates[i].ready)
+		}
+	}
+
+	// Phase 1: every processor assembles the regions its tasks own (the same
+	// ownership as the distributed runtime). The phase barrier orders all
+	// assembly writes before any contribution.
+	if err := sr.runPhase(func(p int) error { return sr.assemble(a, p) }); err != nil {
+		return nil, err
+	}
+	// Phase 2: execute the K_p task vectors.
+	if err := sr.runPhase(sr.execute); err != nil {
+		return nil, err
+	}
+	// Phase 3: deferred panel scaling of 2D blocks (W = L·D until every BMOD
+	// reader has finished; the phase barrier guarantees that).
+	if err := sr.runPhase(sr.scale); err != nil {
+		return nil, err
+	}
+	return sr.f, nil
+}
+
+// runPhase runs fn on every processor and waits; the phase boundary is a
+// full barrier. The first error wins.
+func (sr *sharedRun) runPhase(fn func(p int) error) error {
+	P := sr.sch.P
+	errs := make([]error, P)
+	var wg sync.WaitGroup
+	for p := 0; p < P; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			if err := fn(p); err != nil {
+				errs[p] = err
+				sr.fail()
+			}
+		}(p)
+	}
+	wg.Wait()
+	var aborted error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, errSharedAborted) {
+			aborted = err
+			continue
+		}
+		return err
+	}
+	return aborted
+}
+
+func (sr *sharedRun) assemble(a *sparse.SymMatrix, p int) error {
+	for _, id := range sr.sch.ByProc[p] {
+		t := &sr.sch.Tasks[id]
+		var err error
+		switch t.Type {
+		case sched.Comp1D:
+			err = sr.f.AssembleCell(a, t.Cell)
+		case sched.Factor:
+			err = sr.f.AssembleDiagRegion(a, t.Cell)
+		case sched.BDiv:
+			err = sr.f.AssembleBlockRegion(a, t.Cell, t.S)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (sr *sharedRun) execute(p int) error {
+	for _, id := range sr.sch.ByProc[p] {
+		if err := sr.wait(id); err != nil {
+			return err
+		}
+		t := &sr.sch.Tasks[id]
+		var err error
+		switch t.Type {
+		case sched.Comp1D:
+			err = sr.execComp1D(t)
+		case sched.Factor:
+			err = sr.execFactor(t)
+		case sched.BDiv:
+			err = sr.execBDiv(t)
+		case sched.BMod:
+			err = sr.execBMod(t)
+		}
+		if err != nil {
+			return err
+		}
+		sr.done(id)
+	}
+	return nil
+}
+
+func (sr *sharedRun) scale(p int) error {
+	sym := sr.sch.Sym()
+	for _, id := range sr.sch.ByProc[p] {
+		t := &sr.sch.Tasks[id]
+		if t.Type != sched.BDiv {
+			continue
+		}
+		cb := &sym.CB[t.Cell]
+		blk := cb.Blocks[t.S]
+		off := sr.f.BlockOff[t.Cell][t.S]
+		blas.ScaleColumns(blk.Rows(), cb.Width(), sr.f.Data[t.Cell][off:], sr.f.LD[t.Cell], sr.f.Diag(t.Cell))
+	}
+	return nil
+}
+
+// contribute computes the (s,t) outer-product contribution of cell k from
+// W_s and W_t (both slices of the shared storage) and subtracts it directly
+// from the destination region, under the destination task's lock. This is
+// the zero-copy replacement for the AUB accumulate/pack/send/apply chain.
+func (sr *sharedRun) contribute(k, s, t int, ws []float64, lda int, wt []float64, ldb int, invd []float64) error {
+	sym := sr.sch.Sym()
+	cb := &sym.CB[k]
+	w := cb.Width()
+	bs := &cb.Blocks[s]
+	bt := &cb.Blocks[t]
+	fcell := bt.Facing
+
+	// Destination task (for the lock) and region offset.
+	var dt int
+	switch {
+	case sr.sch.Comp1DOf[fcell] >= 0:
+		dt = sr.sch.Comp1DOf[fcell]
+	case bs.Facing == fcell:
+		dt = sr.sch.FactorOf[fcell]
+	default:
+		b := sr.f.BlockContaining(fcell, bs.FirstRow, bs.LastRow)
+		if b < 0 {
+			return fmt.Errorf("solver: rows [%d,%d) of cb %d not in cb %d", bs.FirstRow, bs.LastRow, k, fcell)
+		}
+		dt = sr.sch.BDivOf[fcell][b]
+	}
+	_, off, err := targetOffset(sr.f, k, s, t)
+	if err != nil {
+		return err
+	}
+	dst := sr.f.Data[fcell][off:]
+	ldc := sr.f.LD[fcell]
+
+	sr.locks[dt].Lock()
+	if s == t {
+		blas.SyrkLowerNDT(bs.Rows(), w, ws, lda, invd, dst, ldc)
+	} else {
+		blas.GemmNDTAuto(bs.Rows(), bt.Rows(), w, ws, lda, invd, wt, ldb, dst, ldc)
+	}
+	sr.locks[dt].Unlock()
+	return nil
+}
+
+func (sr *sharedRun) execComp1D(t *sched.Task) error {
+	k := t.Cell
+	// The gate admitted us, so every contribution into this cell has been
+	// subtracted in place already; the cell is ready to factor.
+	if err := sr.f.FactorDiag(k); err != nil {
+		return err
+	}
+	sr.f.SolvePanel(k)
+	d := sr.f.Diag(k)
+	invd := make([]float64, len(d))
+	for i, v := range d {
+		invd[i] = 1 / v
+	}
+	sym := sr.sch.Sym()
+	cb := &sym.CB[k]
+	ld := sr.f.LD[k]
+	data := sr.f.Data[k]
+	for ti := range cb.Blocks {
+		for si := ti; si < len(cb.Blocks); si++ {
+			if err := sr.contribute(k, si, ti,
+				data[sr.f.BlockOff[k][si]:], ld,
+				data[sr.f.BlockOff[k][ti]:], ld, invd); err != nil {
+				return err
+			}
+		}
+	}
+	// All readers of this cell's W are within this task; scale immediately.
+	sr.f.ScalePanel(k, d)
+	return nil
+}
+
+func (sr *sharedRun) execFactor(t *sched.Task) error {
+	k := t.Cell
+	if err := sr.f.FactorDiag(k); err != nil {
+		return err
+	}
+	// Publish 1/D for the BMOD tasks of this cell (they observe it through
+	// the FACTOR → BDIV → BMOD gate chain). The diagonal block itself is
+	// read in place by BDIV — no copy is ever taken.
+	d := sr.f.Diag(k)
+	invd := make([]float64, len(d))
+	for i, v := range d {
+		invd[i] = 1 / v
+	}
+	sr.invd[k] = invd
+	return nil
+}
+
+func (sr *sharedRun) execBDiv(t *sched.Task) error {
+	k := t.Cell
+	cb := &sr.sch.Sym().CB[k]
+	w := cb.Width()
+	off := sr.f.BlockOff[k][t.S]
+	// TRSM against the shared diagonal block, in place on the shared panel.
+	blas.TrsmRightLTransUnit(cb.Blocks[t.S].Rows(), w, sr.f.Data[k], sr.f.LD[k], sr.f.Data[k][off:], sr.f.LD[k])
+	return nil
+}
+
+func (sr *sharedRun) execBMod(t *sched.Task) error {
+	k := t.Cell
+	ld := sr.f.LD[k]
+	ws := sr.f.Data[k][sr.f.BlockOff[k][t.S]:]
+	wt := sr.f.Data[k][sr.f.BlockOff[k][t.T]:]
+	return sr.contribute(k, t.S, t.T, ws, ld, wt, ld, sr.invd[k])
+}

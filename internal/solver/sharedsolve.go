@@ -1,0 +1,225 @@
+package solver
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/pastix-go/pastix/internal/blas"
+	"github.com/pastix-go/pastix/internal/sched"
+)
+
+// SolveShared is the shared-memory counterpart of SolvePar: the block
+// triangular solves over the schedule's data distribution, with the solution
+// and the per-cell accumulators living in shared arrays instead of message
+// payloads. Cell-level dependency counters replace the fan-in messages: a
+// diagonal solve fires once every contribution of the blocks facing the cell
+// has been accumulated in place, and solution segments are read directly
+// from the shared vector once the owner signals them solved. The result
+// matches the sequential Solve to rounding.
+func SolveShared(sch *sched.Schedule, f *Factors, b []float64) ([]float64, error) {
+	sym := sch.Sym()
+	if len(b) != sym.N {
+		return nil, fmt.Errorf("solver: rhs length %d, matrix order %d", len(b), sym.N)
+	}
+	pl := newSolvePlan(sch)
+	ncb := sym.NumCB()
+	ss := &sharedSolve{
+		pl:      pl,
+		f:       f,
+		y:       make([]float64, sym.N),
+		x:       make([]float64, sym.N),
+		acc:     make([][]float64, ncb),
+		lock:    make([]sync.Mutex, ncb),
+		contrib: make([]taskGate, ncb),
+		solved:  make([]chan struct{}, ncb),
+	}
+	prepare := func(total func(k int) int32) {
+		for k := 0; k < ncb; k++ {
+			ss.acc[k] = nil
+			ss.solved[k] = make(chan struct{})
+			ss.contrib[k].ready = make(chan struct{})
+			ss.contrib[k].remaining.Store(total(k))
+			if total(k) == 0 {
+				close(ss.contrib[k].ready)
+			}
+		}
+	}
+
+	// Forward sweep: contributions into cell k come from every block facing
+	// k, wherever it is owned.
+	fwdTotal := make([]int32, ncb)
+	bwdTotal := make([]int32, ncb)
+	for k := 0; k < ncb; k++ {
+		bwdTotal[k] = int32(len(sym.CB[k].Blocks))
+		for _, blk := range sym.CB[k].Blocks {
+			fwdTotal[blk.Facing]++
+		}
+	}
+	prepare(func(k int) int32 { return fwdTotal[k] })
+	if err := ss.runSweep(sch.P, func(p int) error { return ss.forward(p, b) }); err != nil {
+		return nil, err
+	}
+	// Backward sweep: the dot-products for cell k come from k's own blocks.
+	prepare(func(k int) int32 { return bwdTotal[k] })
+	if err := ss.runSweep(sch.P, ss.backward); err != nil {
+		return nil, err
+	}
+	return ss.x, nil
+}
+
+type sharedSolve struct {
+	pl *solvePlan
+	f  *Factors
+
+	y, x    []float64
+	acc     [][]float64  // per-cell contribution accumulator (lazily allocated)
+	lock    []sync.Mutex // per cell: serializes accumulation
+	contrib []taskGate   // per cell: all contributions accumulated
+	solved  []chan struct{}
+
+	abort     chan struct{}
+	abortOnce sync.Once
+}
+
+func (ss *sharedSolve) runSweep(P int, fn func(p int) error) error {
+	ss.abort = make(chan struct{})
+	ss.abortOnce = sync.Once{}
+	errs := make([]error, P)
+	var wg sync.WaitGroup
+	for p := 0; p < P; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			if err := fn(p); err != nil {
+				errs[p] = err
+				ss.abortOnce.Do(func() { close(ss.abort) })
+			}
+		}(p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ss *sharedSolve) waitGate(g *taskGate) error {
+	select {
+	case <-g.ready:
+		return nil
+	case <-ss.abort:
+		return errSharedAborted
+	}
+}
+
+func (ss *sharedSolve) waitSolved(k int) error {
+	select {
+	case <-ss.solved[k]:
+		return nil
+	case <-ss.abort:
+		return errSharedAborted
+	}
+}
+
+// addInto accumulates fn's output into cell k's accumulator (length = cell
+// width) under the cell lock, then decrements the contribution gate.
+func (ss *sharedSolve) addInto(k, w int, fn func(acc []float64)) {
+	ss.lock[k].Lock()
+	if ss.acc[k] == nil {
+		ss.acc[k] = make([]float64, w)
+	}
+	fn(ss.acc[k])
+	ss.lock[k].Unlock()
+	if ss.contrib[k].remaining.Add(-1) == 0 {
+		close(ss.contrib[k].ready)
+	}
+}
+
+func (ss *sharedSolve) forward(p int, b []float64) error {
+	pl := ss.pl
+	sym := pl.sch.Sym()
+	for k := 0; k < sym.NumCB(); k++ {
+		cb := &sym.CB[k]
+		w := cb.Width()
+		ld := ss.f.LD[k]
+		if pl.diagOwner[k] == p {
+			if err := ss.waitGate(&ss.contrib[k]); err != nil {
+				return err
+			}
+			yk := ss.y[cb.Cols[0]:cb.Cols[1]]
+			copy(yk, b[cb.Cols[0]:cb.Cols[1]])
+			if acc := ss.acc[k]; acc != nil {
+				for i := range yk {
+					yk[i] += acc[i] // acc holds −Σ L_b·y already
+				}
+			}
+			blas.TrsvLowerUnit(w, ss.f.Data[k], ld, yk)
+			close(ss.solved[k])
+		}
+		for bi, blk := range cb.Blocks {
+			if pl.blockOwn[k][bi] != p {
+				continue
+			}
+			if err := ss.waitSolved(k); err != nil {
+				return err
+			}
+			fcb := &sym.CB[blk.Facing]
+			off := blk.FirstRow - fcb.Cols[0]
+			rows := blk.Rows()
+			yk := ss.y[cb.Cols[0]:cb.Cols[1]]
+			dataB := ss.f.Data[k][ss.f.BlockOff[k][bi]:]
+			ss.addInto(blk.Facing, fcb.Width(), func(acc []float64) {
+				// GemvN accumulates acc −= L_b·y_k, the sign forward needs.
+				blas.GemvN(rows, w, dataB, ld, yk, acc[off:off+rows])
+			})
+		}
+	}
+	return nil
+}
+
+func (ss *sharedSolve) backward(p int) error {
+	pl := ss.pl
+	sym := pl.sch.Sym()
+	for k := sym.NumCB() - 1; k >= 0; k-- {
+		cb := &sym.CB[k]
+		w := cb.Width()
+		ld := ss.f.LD[k]
+		for bi, blk := range cb.Blocks {
+			if pl.blockOwn[k][bi] != p {
+				continue
+			}
+			if err := ss.waitSolved(blk.Facing); err != nil {
+				return err
+			}
+			fcb := &sym.CB[blk.Facing]
+			off := blk.FirstRow - fcb.Cols[0]
+			xf := ss.x[fcb.Cols[0]+off : fcb.Cols[0]+off+blk.Rows()]
+			dataB := ss.f.Data[k][ss.f.BlockOff[k][bi]:]
+			rows := blk.Rows()
+			ss.addInto(k, w, func(acc []float64) {
+				// GemvT accumulates acc −= L_bᵀ·x_f, the sign backward needs.
+				blas.GemvT(rows, w, dataB, ld, xf, acc)
+			})
+		}
+		if pl.diagOwner[k] != p {
+			continue
+		}
+		if err := ss.waitGate(&ss.contrib[k]); err != nil {
+			return err
+		}
+		xk := ss.x[cb.Cols[0]:cb.Cols[1]]
+		for j := 0; j < w; j++ {
+			xk[j] = ss.y[cb.Cols[0]+j] / ss.f.Data[k][j+j*ld]
+		}
+		if acc := ss.acc[k]; acc != nil {
+			for i := range xk {
+				xk[i] += acc[i]
+			}
+		}
+		blas.TrsvLowerTransUnit(w, ss.f.Data[k], ld, xk)
+		close(ss.solved[k])
+	}
+	return nil
+}

@@ -115,12 +115,20 @@ type Options struct {
 	// cost model instead of using the deterministic SP2-like profile. Use it
 	// when wall-clock parallel speed matters more than reproducibility.
 	CalibrateMachine bool
+	// SharedMemory executes the factorization (and SolveParallel) with the
+	// zero-copy shared-memory runtime: the same static schedule, but direct
+	// in-place aggregation into one shared factor instead of message copies
+	// between goroutine processors. Faster on a real SMP host; the default
+	// message-passing runtime remains the paper-faithful baseline. The
+	// factor produced is identical to rounding either way.
+	SharedMemory bool
 }
 
 // Analysis is the reusable result of the pre-processing phases. All methods
 // are safe for concurrent use once constructed.
 type Analysis struct {
-	inner *solver.Analysis
+	inner  *solver.Analysis
+	shared bool // numerical phases use the shared-memory runtime
 }
 
 // Factor holds the numerical factorization L·D·Lᵀ.
@@ -171,7 +179,7 @@ func Analyze(a *Matrix, opts Options) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Analysis{inner: inner}, nil
+	return &Analysis{inner: inner, shared: opts.SharedMemory}, nil
 }
 
 // SchurComplement eliminates every unknown outside schurVars and returns the
@@ -196,9 +204,11 @@ func SchurComplement(a *Matrix, schurVars []int, opts Options) ([]float64, []int
 }
 
 // Factorize computes the numerical LDLᵀ factorization: sequentially on one
-// processor, or with the schedule-driven parallel fan-in solver.
+// processor, or with the schedule-driven parallel runtime — message-passing
+// fan-in by default, the zero-copy shared-memory runtime when the analysis
+// was built with Options.SharedMemory.
 func (an *Analysis) Factorize() (*Factor, error) {
-	f, err := an.inner.Factorize()
+	f, err := an.inner.FactorizeOpts(solver.ParOptions{SharedMemory: an.shared})
 	if err != nil {
 		return nil, err
 	}
@@ -216,8 +226,10 @@ func (an *Analysis) Solve(f *Factor, b []float64) ([]float64, error) {
 	return an.inner.SolveOriginal(f.inner, b), nil
 }
 
-// SolveParallel solves A·x = b with the distributed block triangular solves
-// on the schedule's processors (same result as Solve to rounding).
+// SolveParallel solves A·x = b with the parallel block triangular solves on
+// the schedule's processors — message-passing, or shared-memory when the
+// analysis was built with Options.SharedMemory (same result as Solve to
+// rounding either way).
 func (an *Analysis) SolveParallel(f *Factor, b []float64) ([]float64, error) {
 	if f == nil || f.an != an.inner {
 		return nil, fmt.Errorf("pastix: factor does not belong to this analysis")
@@ -229,7 +241,11 @@ func (an *Analysis) SolveParallel(f *Factor, b []float64) ([]float64, error) {
 	for newI, old := range an.inner.Perm {
 		pb[newI] = b[old]
 	}
-	px, err := solver.SolvePar(an.inner.Sched, f.inner, pb)
+	solve := solver.SolvePar
+	if an.shared {
+		solve = solver.SolveShared
+	}
+	px, err := solve(an.inner.Sched, f.inner, pb)
 	if err != nil {
 		return nil, err
 	}

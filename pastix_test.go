@@ -33,6 +33,40 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 	}
 }
 
+// TestPublicAPISharedMemoryRoundTrip exercises the zero-copy shared-memory
+// runtime through the public surface: Options.SharedMemory must route both
+// Factorize and SolveParallel to it, with the same answers as the default
+// message-passing runtime.
+func TestPublicAPISharedMemoryRoundTrip(t *testing.T) {
+	a := gen.Laplacian2D(14, 14)
+	an, err := Analyze(a, Options{Processors: 4, BlockSize: 16, Ratio2D: 2, SharedMemory: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := an.Factorize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, b := gen.RHSForSolution(a)
+	for name, solve := range map[string]func(*Factor, []float64) ([]float64, error){
+		"Solve":         an.Solve,
+		"SolveParallel": an.SolveParallel,
+	} {
+		got, err := solve(f, b)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := range x {
+			if math.Abs(got[i]-x[i]) > 1e-9 {
+				t.Fatalf("%s: x[%d]=%g want %g", name, i, got[i], x[i])
+			}
+		}
+		if r := Residual(a, got, b); r > 1e-12 {
+			t.Fatalf("%s: residual %g", name, r)
+		}
+	}
+}
+
 func TestPublicStats(t *testing.T) {
 	a := gen.Laplacian2D(16, 16)
 	an, err := Analyze(a, Options{Processors: 8, BlockSize: 16, Ratio2D: 2})
