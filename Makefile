@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet check
+.PHONY: all build test race bench vet fmt-check check ci
 
-all: check
+all: ci
 
 build:
 	$(GO) build ./...
@@ -13,8 +13,13 @@ build:
 test: build
 	$(GO) test ./...
 
-vet:
+vet: fmt-check
 	$(GO) vet ./...
+
+# gofmt emits the names of misformatted files; any output is a failure.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # Tier-2: the whole suite under the race detector. The shared-memory
 # runtime (FactorizeShared/SolveShared) and the mpsim message runtime are
@@ -31,3 +36,6 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 check: build vet test race
+
+# The CI entry point (and default target): build, vet+gofmt, tests, race.
+ci: build vet test race

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -22,6 +23,7 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/pastix-go/pastix"
 	"github.com/pastix-go/pastix/internal/bench"
 	"github.com/pastix-go/pastix/internal/gen"
 )
@@ -45,12 +47,16 @@ func main() {
 		sharedGrid = flag.Int("sharedgrid", 14, "Poisson grid edge for -sharedcmp (n³ unknowns)")
 		sharedReps = flag.Int("sharedreps", 5, "timing repetitions per point for -sharedcmp (best kept)")
 		jsonOut    = flag.String("json", "", "also write -sharedcmp rows as JSON to this file")
+
+		diverge  = flag.Bool("divergence", false, "trace an executed 3D Poisson factorization under both runtimes and print the predicted-vs-actual divergence reports")
+		divGrid  = flag.Int("divgrid", 12, "Poisson grid edge for -divergence (n³ unknowns)")
+		divProcs = flag.Int("divprocs", 4, "processor count for -divergence")
 	)
 	flag.Parse()
 	if *all {
 		*table1, *table2, *dense, *ablate = true, true, true, true
 	}
-	if !*table1 && !*table2 && !*dense && !*ablate && !*sharedCmp && *plot == "" && *bsweep == "" {
+	if !*table1 && !*table2 && !*dense && !*ablate && !*sharedCmp && !*diverge && *plot == "" && *bsweep == "" {
 		flag.Usage()
 		return
 	}
@@ -147,6 +153,29 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Printf("rows written to %s\n", *jsonOut)
+		}
+		fmt.Println()
+	}
+	if *diverge {
+		g := *divGrid
+		fmt.Printf("== predicted-vs-actual divergence, executed %d³ Poisson on %d processors ==\n", g, *divProcs)
+		a := gen.Laplacian3D(g, g, g)
+		for _, rt := range []struct {
+			name   string
+			shared bool
+		}{{"mpsim (message-passing)", false}, {"shared (zero-copy)", true}} {
+			an, err := pastix.Analyze(a, pastix.Options{Processors: *divProcs, SharedMemory: rt.shared})
+			if err != nil {
+				log.Fatal(err)
+			}
+			_, tr, err := an.FactorizeTraced(context.Background(), pastix.TraceOptions{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("\n-- runtime: %s --\n", rt.name)
+			if err := tr.WriteReport(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
 		}
 		fmt.Println()
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -37,7 +38,9 @@ func main() {
 		calibrate = flag.Bool("calibrate", false, "calibrate the cost model on this host")
 		gantt     = flag.Bool("gantt", false, "print a Gantt chart of the static schedule")
 		stats     = flag.Bool("stats", false, "print a detailed schedule summary")
-		traceCSV  = flag.String("trace", "", "write the schedule as CSV to this file")
+		schedCSV  = flag.String("sched-csv", "", "write the static schedule as CSV to this file")
+		traceOut  = flag.String("trace", "", "trace the factorization and write Chrome trace-event JSON to this file (open in chrome://tracing or ui.perfetto.dev)")
+		traceRep  = flag.Bool("trace-report", false, "trace the factorization and print the predicted-vs-actual divergence report")
 	)
 	flag.Parse()
 
@@ -104,8 +107,8 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	if *traceCSV != "" {
-		fh, err := os.Create(*traceCSV)
+	if *schedCSV != "" {
+		fh, err := os.Create(*schedCSV)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -115,17 +118,42 @@ func main() {
 		if err := fh.Close(); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("trace    : schedule written to %s\n", *traceCSV)
+		fmt.Printf("schedule : CSV written to %s\n", *schedCSV)
 	}
 
+	tracing := *traceOut != "" || *traceRep
 	start = time.Now()
-	f, err := an.Factorize()
+	var f *pastix.Factor
+	var tr *pastix.Trace
+	if tracing {
+		f, tr, err = an.FactorizeTraced(context.Background(), pastix.TraceOptions{})
+	} else {
+		f, err = an.Factorize()
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
 	tFactor := time.Since(start)
 	fmt.Printf("factorize: %.3fs wall (%.2f GFlop/s on OPC, %s runtime)\n",
 		tFactor.Seconds(), st.ScalarOPC/tFactor.Seconds()/1e9, *runtime)
+	if *traceOut != "" {
+		fh, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tr.WriteChromeTrace(fh); err != nil {
+			log.Fatal(err)
+		}
+		if err := fh.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace    : Chrome trace-event JSON written to %s\n", *traceOut)
+	}
+	if *traceRep {
+		if err := tr.WriteReport(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	// Solve against b = A·x_ref and report the error.
 	xref, b := gen.RHSForSolution(a)

@@ -1,0 +1,35 @@
+package pastix
+
+import (
+	"errors"
+
+	"github.com/pastix-go/pastix/internal/solver"
+)
+
+// Sentinel errors of the public API. Match with errors.Is; where a concrete
+// error type carries more detail (e.g. ZeroPivotError), extract it with
+// errors.As.
+var (
+	// ErrNotSPD reports a factorization breakdown: the unpivoted LDLᵀ hit a
+	// zero (or NaN) pivot, so the matrix is neither symmetric positive
+	// definite nor strongly diagonally dominant. The concrete error is a
+	// *ZeroPivotError carrying the offending column.
+	ErrNotSPD = solver.ErrNotSPD
+	// ErrShape reports a dimension mismatch between arguments: a right-hand
+	// side whose length differs from the matrix order, or a panel of the
+	// wrong shape.
+	ErrShape = solver.ErrShape
+	// ErrFactorMismatch reports a Factor passed to an Analysis it was not
+	// produced by. Factors are bound to the analysis whose permutation and
+	// symbolic structure they were computed under.
+	ErrFactorMismatch = errors.New("pastix: factor does not belong to this analysis")
+	// ErrBadOptions reports invalid Options (negative Processors, BlockSize,
+	// Ratio2D or LeafSize, or an unknown ordering method). The wrapping error
+	// names the offending field.
+	ErrBadOptions = errors.New("pastix: invalid options")
+)
+
+// ZeroPivotError is the concrete error behind ErrNotSPD: the factorization
+// of column block Cell broke down at global column Column (in the permuted
+// ordering the analysis produced). errors.Is(err, ErrNotSPD) is true for it.
+type ZeroPivotError = solver.ZeroPivotError

@@ -10,7 +10,6 @@
 package blas
 
 import (
-	"fmt"
 	"math"
 )
 
@@ -111,7 +110,7 @@ func Cholesky(n int, a []float64, ld int) error {
 	for k := 0; k < n; k++ {
 		akk := a[k+k*ld]
 		if akk <= 0 || math.IsNaN(akk) {
-			return fmt.Errorf("blas: cholesky pivot %d non-positive (%g)", k, akk)
+			return &PivotError{Kernel: "cholesky", Index: k, Value: akk}
 		}
 		p := math.Sqrt(akk)
 		a[k+k*ld] = p
@@ -139,7 +138,7 @@ func LDLT(n int, a []float64, ld int) error {
 	for k := 0; k < n; k++ {
 		dk := a[k+k*ld]
 		if dk == 0 || math.IsNaN(dk) {
-			return fmt.Errorf("blas: ldlt pivot %d is zero", k)
+			return &PivotError{Kernel: "ldlt", Index: k, Value: dk}
 		}
 		col := a[k*ld : k*ld+n]
 		inv := 1 / dk

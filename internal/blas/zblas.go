@@ -1,7 +1,6 @@
 package blas
 
 import (
-	"fmt"
 	"math/cmplx"
 )
 
@@ -63,7 +62,7 @@ func ZLDLT(n int, a []complex128, ld int) error {
 	for k := 0; k < n; k++ {
 		dk := a[k+k*ld]
 		if dk == 0 || cmplx.IsNaN(dk) {
-			return fmt.Errorf("blas: zldlt pivot %d is zero", k)
+			return &PivotError{Kernel: "zldlt", Index: k, Value: real(dk)}
 		}
 		col := a[k*ld : k*ld+n]
 		inv := 1 / dk

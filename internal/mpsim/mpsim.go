@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"github.com/pastix-go/pastix/internal/trace"
 )
 
 // ErrClosed is returned by Recv when the communicator was shut down while
@@ -37,6 +39,7 @@ type Comm struct {
 	nBytes   atomic.Int64
 	maxInFly atomic.Int64
 	inFlight atomic.Int64
+	rec      *trace.Recorder
 }
 
 type mailbox struct {
@@ -61,6 +64,11 @@ func NewComm(p int) *Comm {
 // P returns the number of processors.
 func (c *Comm) P() int { return c.p }
 
+// SetTrace attaches an execution-trace recorder: every Send and Recv is
+// recorded as an instant event (message kind, tag, payload bytes) on the
+// acting processor. Call before Run; a nil recorder disables recording.
+func (c *Comm) SetTrace(rec *trace.Recorder) { c.rec = rec }
+
 // Send enqueues m into the destination mailbox. Data is NOT copied: the
 // sender must not mutate it afterwards (same contract as MPI_Isend buffers).
 func (c *Comm) Send(m Message) {
@@ -72,6 +80,9 @@ func (c *Comm) Send(m Message) {
 	}
 	c.nMsgs.Add(1)
 	c.nBytes.Add(int64(len(m.Data)) * 8)
+	if c.rec != nil {
+		c.rec.Comm(m.Src, trace.KindSend, m.Kind, m.Tag, int64(len(m.Data))*8)
+	}
 	if f := c.inFlight.Add(1); f > c.maxInFly.Load() {
 		c.maxInFly.Store(f)
 	}
@@ -103,6 +114,9 @@ func (c *Comm) Recv(p int) (Message, error) {
 	m := b.queue[0]
 	b.queue = b.queue[1:]
 	c.inFlight.Add(-1)
+	if c.rec != nil {
+		c.rec.Comm(p, trace.KindRecv, m.Kind, m.Tag, int64(len(m.Data))*8)
+	}
 	return m, nil
 }
 
@@ -118,6 +132,9 @@ func (c *Comm) TryRecv(p int) (Message, bool) {
 	m := b.queue[0]
 	b.queue = b.queue[1:]
 	c.inFlight.Add(-1)
+	if c.rec != nil {
+		c.rec.Comm(p, trace.KindRecv, m.Kind, m.Tag, int64(len(m.Data))*8)
+	}
 	return m, true
 }
 

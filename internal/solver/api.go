@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -60,6 +61,17 @@ type Analysis struct {
 // Analyze runs ordering, symbolic factorization, repartitioning, candidate
 // mapping and static scheduling for matrix a.
 func Analyze(a *sparse.SymMatrix, opts Options) (*Analysis, error) {
+	return AnalyzeCtx(context.Background(), a, opts)
+}
+
+// AnalyzeCtx is Analyze under a context. The analysis phases are sequential
+// CPU-bound passes, so cancellation is observed at the phase boundaries
+// (ordering → tree/supernodes → symbolic → mapping/scheduling) — ctx.Err()
+// is returned at the first boundary after cancellation.
+func AnalyzeCtx(ctx context.Context, a *sparse.SymMatrix, opts Options) (*Analysis, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := a.Validate(); err != nil {
 		return nil, fmt.Errorf("solver: invalid matrix: %w", err)
 	}
@@ -82,6 +94,9 @@ func Analyze(a *sparse.SymMatrix, opts Options) (*Analysis, error) {
 	pa := a.Permute(o.Perm)
 	tOrder := time.Since(tStart)
 	tStart = time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Elimination tree, postorder (composed into the permutation), column
 	// counts, supernodes.
@@ -102,6 +117,9 @@ func Analyze(a *sparse.SymMatrix, opts Options) (*Analysis, error) {
 	sn = etree.Amalgamate(sn, parent, cc, opts.Amalgamation)
 	tTree := time.Since(tStart)
 	tStart = time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Block repartitioning: split by blocking size, then the block symbolic
 	// factorization on the final partition.
@@ -112,6 +130,9 @@ func Analyze(a *sparse.SymMatrix, opts Options) (*Analysis, error) {
 	sym := symbolic.Factor(pa, sn)
 	tSymbolic := time.Since(tStart)
 	tStart = time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Candidate mapping and static scheduling.
 	mapping := part.Map(sym, mach, opts.P, opts.Part)
@@ -150,13 +171,24 @@ func (an *Analysis) Factorize() (*Factors, error) {
 // message-passing fan-in/fan-both runtime (default, sequential for P == 1)
 // or the zero-copy shared-memory runtime (popts.SharedMemory).
 func (an *Analysis) FactorizeOpts(popts ParOptions) (*Factors, error) {
+	return an.FactorizeOptsCtx(context.Background(), popts)
+}
+
+// FactorizeOptsCtx is FactorizeOpts under a context: cancelling ctx aborts
+// the parallel runtimes (all worker goroutines unwind before the call
+// returns) and is checked up front on the sequential path.
+func (an *Analysis) FactorizeOptsCtx(ctx context.Context, popts ParOptions) (*Factors, error) {
 	if popts.SharedMemory {
-		return FactorizeShared(an.A, an.Sched)
+		return FactorizeSharedCtx(ctx, an.A, an.Sched, popts.Trace)
 	}
-	if an.Sched.P == 1 {
+	if an.Sched.P == 1 && popts.Trace == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return FactorizeSeq(an.A, an.Sym)
 	}
-	return FactorizeParOpts(an.A, an.Sched, popts)
+	f, _, err := FactorizeParStatsCtx(ctx, an.A, an.Sched, popts)
+	return f, err
 }
 
 // SolveOriginal solves A·x = b in the ORIGINAL ordering: b is permuted in,

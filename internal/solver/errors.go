@@ -1,0 +1,54 @@
+package solver
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/pastix-go/pastix/internal/blas"
+)
+
+// Sentinel errors of the numerical phases. They are re-exported by the
+// public pastix package; match with errors.Is, extract detail with
+// errors.As.
+var (
+	// ErrNotSPD reports a factorization breakdown: the unpivoted LDLᵀ hit a
+	// zero (or NaN) pivot, so the matrix is not symmetric positive definite
+	// nor strongly diagonally dominant. The concrete error is a
+	// *ZeroPivotError carrying the offending column.
+	ErrNotSPD = errors.New("solver: matrix is not positive definite (zero pivot)")
+	// ErrShape reports a dimension mismatch between arguments (rhs length vs
+	// matrix order, panel shape, pattern mismatch).
+	ErrShape = errors.New("solver: dimension mismatch")
+)
+
+// ZeroPivotError is the concrete error behind ErrNotSPD: the factorization
+// of column block Cell broke down at global column Column (in the permuted
+// ordering the analysis produced).
+type ZeroPivotError struct {
+	Cell   int     // column block whose diagonal factorization failed
+	Column int     // global column index, permuted ordering
+	Value  float64 // the offending pivot value (0 or NaN)
+}
+
+func (e *ZeroPivotError) Error() string {
+	return fmt.Sprintf("solver: zero pivot at column %d (cb %d): matrix is not positive definite", e.Column, e.Cell)
+}
+
+// Is makes errors.Is(err, ErrNotSPD) succeed for ZeroPivotError values.
+func (e *ZeroPivotError) Is(target error) bool { return target == ErrNotSPD }
+
+// wrapPivot converts a blas factorization failure of cell k (whose first
+// global column is colStart) into the typed solver error, translating the
+// block-local pivot index into a global column.
+func wrapPivot(colStart, k int, err error) error {
+	var pe *blas.PivotError
+	if errors.As(err, &pe) {
+		return &ZeroPivotError{Cell: k, Column: colStart + pe.Index, Value: pe.Value}
+	}
+	return fmt.Errorf("solver: cb %d: %w", k, err)
+}
+
+// pivotError is wrapPivot with the column start looked up from the symbol.
+func (f *Factors) pivotError(k int, err error) error {
+	return wrapPivot(f.Sym.CB[k].Cols[0], k, err)
+}

@@ -1,13 +1,16 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"github.com/pastix-go/pastix/internal/blas"
 	"github.com/pastix-go/pastix/internal/mpsim"
 	"github.com/pastix-go/pastix/internal/sched"
 	"github.com/pastix-go/pastix/internal/sparse"
+	"github.com/pastix-go/pastix/internal/trace"
 )
 
 // Message kinds of the factorization protocol (Fig. 1 of the paper).
@@ -32,6 +35,11 @@ type ParOptions struct {
 	// in-place aggregation instead of message copies. No messages are sent,
 	// so MaxAUBBytes is ignored and CommStats comes back empty.
 	SharedMemory bool
+	// Trace attaches an execution recorder: per-task execution intervals,
+	// message sends/receives and AUB spills are recorded into it. Nil (the
+	// default) disables tracing; every record site is behind a nil check so
+	// the disabled path costs one pointer comparison per task.
+	Trace *trace.Recorder
 }
 
 // CommStats reports the communication volume of an executed parallel
@@ -135,8 +143,19 @@ func buildProtocol(sch *sched.Schedule) *protocol {
 
 // FactorizeParStats is FactorizeParOpts returning communication statistics.
 func FactorizeParStats(a *sparse.SymMatrix, sch *sched.Schedule, popts ParOptions) (*Factors, CommStats, error) {
+	return FactorizeParStatsCtx(context.Background(), a, sch, popts)
+}
+
+// FactorizeParStatsCtx is FactorizeParStats under a context: cancelling ctx
+// aborts the run — processors blocked on messages are woken by closing the
+// communicator, compute-bound processors observe the cancellation between
+// tasks — and ctx.Err() is returned once every worker has unwound.
+func FactorizeParStatsCtx(ctx context.Context, a *sparse.SymMatrix, sch *sched.Schedule, popts ParOptions) (*Factors, CommStats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, CommStats{}, err
+	}
 	if popts.SharedMemory {
-		f, err := FactorizeShared(a, sch)
+		f, err := FactorizeSharedCtx(ctx, a, sch, popts.Trace)
 		return f, CommStats{}, err
 	}
 	sym := sch.Sym()
@@ -147,6 +166,22 @@ func FactorizeParStats(a *sparse.SymMatrix, sch *sched.Schedule, popts ParOption
 	stores := make([]*Factors, P)
 	peaks := make([]int64, P)
 	comm := mpsim.NewComm(P)
+	if popts.Trace != nil {
+		comm.SetTrace(popts.Trace)
+	}
+	if done := ctx.Done(); done != nil {
+		// The watcher closes the communicator on cancellation so processors
+		// blocked in Recv unwind; it exits when the run finishes first.
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-done:
+				comm.Close()
+			case <-stop:
+			}
+		}()
+	}
 	predicted := pr.predicted
 	runErr := comm.Run(func(p int) error {
 		st := &procState{
@@ -155,6 +190,9 @@ func FactorizeParStats(a *sparse.SymMatrix, sch *sched.Schedule, popts ParOption
 			sch:      sch,
 			f:        NewFactorsLazy(sym),
 			comm:     comm,
+			ctx:      ctx,
+			done:     ctx.Done(),
+			rec:      popts.Trace,
 			aubBuf:   make(map[int]map[int][]float64),
 			aubRem:   make(map[int]int),
 			aubGot:   make(map[int]int),
@@ -184,6 +222,9 @@ func FactorizeParStats(a *sparse.SymMatrix, sch *sched.Schedule, popts ParOption
 		}
 	}
 	if runErr != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, stats, cerr
+		}
 		return nil, stats, runErr
 	}
 
@@ -219,6 +260,9 @@ type procState struct {
 	sch  *sched.Schedule
 	f    *Factors
 	comm *mpsim.Comm
+	ctx  context.Context
+	done <-chan struct{} // ctx.Done(); nil when uncancellable
+	rec  *trace.Recorder // nil disables tracing
 
 	aubBytes int64 // bytes currently held in aggregation buffers
 	peakAUB  int64 // high-water mark of aubBytes (after any spill)
@@ -239,8 +283,26 @@ type procState struct {
 	needDiag []bool
 }
 
+// cancelled is the between-tasks cancellation check: compute-bound
+// processors (never blocked in Recv) observe ctx here.
+func (st *procState) cancelled() error {
+	if st.done == nil {
+		return nil
+	}
+	select {
+	case <-st.done:
+		return st.ctx.Err()
+	default:
+		return nil
+	}
+}
+
 func (st *procState) run(a *sparse.SymMatrix) error {
 	sym := st.sch.Sym()
+	var asmStart time.Duration
+	if st.rec != nil {
+		asmStart = st.rec.Now()
+	}
 	// Assemble the regions this processor owns.
 	for _, id := range st.sch.ByProc[st.p] {
 		t := &st.sch.Tasks[id]
@@ -257,11 +319,24 @@ func (st *procState) run(a *sparse.SymMatrix) error {
 			return err
 		}
 	}
+	if st.rec != nil {
+		st.rec.Phase(st.p, trace.PhaseAssemble, asmStart, st.rec.Now())
+	}
 
 	for _, id := range st.sch.ByProc[st.p] {
 		t := &st.sch.Tasks[id]
+		if err := st.cancelled(); err != nil {
+			return err
+		}
 		if err := st.waitInputs(id); err != nil {
 			return err
+		}
+		// The trace interval starts after waitInputs so it measures execution
+		// time only — idle (wait) time is what the divergence report derives
+		// from the gaps, matching the schedule model's Start/End semantics.
+		var start time.Duration
+		if st.rec != nil {
+			start = st.rec.Now()
 		}
 		var err error
 		switch t.Type {
@@ -277,9 +352,16 @@ func (st *procState) run(a *sparse.SymMatrix) error {
 		if err != nil {
 			return err
 		}
+		if st.rec != nil {
+			st.rec.Task(st.p, id, t.Type, t.Cell, t.S, t.T, start, st.rec.Now())
+		}
 	}
 
 	// Deferred panel scaling: owned 2D blocks still hold W = L·D.
+	var scaleStart time.Duration
+	if st.rec != nil {
+		scaleStart = st.rec.Now()
+	}
 	for _, id := range st.sch.ByProc[st.p] {
 		t := &st.sch.Tasks[id]
 		if t.Type != sched.BDiv {
@@ -291,6 +373,9 @@ func (st *procState) run(a *sparse.SymMatrix) error {
 		blk := cb.Blocks[t.S]
 		off := st.f.BlockOff[t.Cell][t.S]
 		blas.ScaleColumns(blk.Rows(), w, st.f.Data[t.Cell][off:], st.f.LD[t.Cell], d)
+	}
+	if st.rec != nil {
+		st.rec.Phase(st.p, trace.PhaseScale, scaleStart, st.rec.Now())
 	}
 	return nil
 }
@@ -702,6 +787,9 @@ func (st *procState) spill(keep int) {
 		regions := st.aubBuf[victim]
 		delete(st.aubBuf, victim)
 		st.aubBytes -= int64(regionsSize(regions)) * 8
+		if st.rec != nil {
+			st.rec.Spill(st.p, victim, int64(regionsSize(regions))*8)
+		}
 		st.comm.Send(mpsim.Message{
 			Kind: msgAUBPartial, Src: st.p, Dst: st.sch.Tasks[victim].Proc, Tag: victim, Data: packAUB(regions),
 		})

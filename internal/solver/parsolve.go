@@ -1,11 +1,14 @@
 package solver
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"github.com/pastix-go/pastix/internal/blas"
 	"github.com/pastix-go/pastix/internal/mpsim"
 	"github.com/pastix-go/pastix/internal/sched"
+	"github.com/pastix-go/pastix/internal/trace"
 )
 
 // Parallel triangular solve. The distribution follows the factorization
@@ -128,14 +131,40 @@ func newSolvePlan(sch *sched.Schedule) *solvePlan {
 // factor of the matrix the schedule was built for. The result matches the
 // sequential Solve to rounding.
 func SolvePar(sch *sched.Schedule, f *Factors, b []float64) ([]float64, error) {
+	return SolveParCtx(context.Background(), sch, f, b, nil)
+}
+
+// SolveParCtx is SolvePar under a context and an optional trace recorder.
+// Cancelling ctx closes the communicator so blocked receivers unwind;
+// ctx.Err() is returned once every worker has finished. With a recorder
+// attached, each processor records its forward and backward sweeps as phase
+// events alongside the message sends/receives.
+func SolveParCtx(ctx context.Context, sch *sched.Schedule, f *Factors, b []float64, rec *trace.Recorder) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	sym := sch.Sym()
 	if len(b) != sym.N {
-		return nil, fmt.Errorf("solver: rhs length %d, matrix order %d", len(b), sym.N)
+		return nil, fmt.Errorf("solver: rhs length %d, matrix order %d: %w", len(b), sym.N, ErrShape)
 	}
 	pl := newSolvePlan(sch)
 	P := sch.P
 	x := make([]float64, sym.N)
 	comm := mpsim.NewComm(P)
+	if rec != nil {
+		comm.SetTrace(rec)
+	}
+	if done := ctx.Done(); done != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-done:
+				comm.Close()
+			case <-stop:
+			}
+		}()
+	}
 	err := comm.Run(func(p int) error {
 		w := &solveWorker{p: p, pl: pl, f: f, comm: comm,
 			y:      make(map[int][]float64),
@@ -149,19 +178,36 @@ func SolvePar(sch *sched.Schedule, f *Factors, b []float64) ([]float64, error) {
 		for k, c := range pl.fwdLocal[p] {
 			w.fwdRem[k] = c
 		}
+		var fwdStart time.Duration
+		if rec != nil {
+			fwdStart = rec.Now()
+		}
 		if err := w.forward(b); err != nil {
 			return err
+		}
+		if rec != nil {
+			rec.Phase(p, trace.PhaseForward, fwdStart, rec.Now())
 		}
 		for k, c := range pl.bwdLocal[p] {
 			w.bwdRem[k] = c
 		}
 		w.got = make(map[int]int)
+		var bwdStart time.Duration
+		if rec != nil {
+			bwdStart = rec.Now()
+		}
 		if err := w.backward(x); err != nil {
 			return err
+		}
+		if rec != nil {
+			rec.Phase(p, trace.PhaseBackward, bwdStart, rec.Now())
 		}
 		return nil
 	})
 	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 		return nil, err
 	}
 	return x, nil

@@ -1,14 +1,17 @@
 package solver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/pastix-go/pastix/internal/blas"
 	"github.com/pastix-go/pastix/internal/sched"
 	"github.com/pastix-go/pastix/internal/sparse"
+	"github.com/pastix-go/pastix/internal/trace"
 )
 
 // This file implements the shared-memory execution of the static schedule:
@@ -39,20 +42,31 @@ type taskGate struct {
 // FactorizeShared execution.
 type sharedRun struct {
 	sch   *sched.Schedule
-	f     *Factors     // the one shared factor storage (fully allocated)
-	gates []taskGate   // per task
-	locks []sync.Mutex // per task: serializes contributions into its region
-	invd  [][]float64  // per cell: 1/D, published by the FACTOR task
+	f     *Factors        // the one shared factor storage (fully allocated)
+	gates []taskGate      // per task
+	locks []sync.Mutex    // per task: serializes contributions into its region
+	invd  [][]float64     // per cell: 1/D, published by the FACTOR task
+	rec   *trace.Recorder // nil disables tracing
 
-	abort     chan struct{} // closed on first error to unblock gate waiters
+	ctx       context.Context
+	ctxDone   <-chan struct{} // ctx.Done(); nil when uncancellable
+	abort     chan struct{}   // closed on first error to unblock gate waiters
 	abortOnce sync.Once
 }
 
 func (sr *sharedRun) fail() { sr.abortOnce.Do(func() { close(sr.abort) }) }
 
-// wait blocks until task id's gate opens (all dependencies satisfied) or the
-// run aborts.
+// wait blocks until task id's gate opens (all dependencies satisfied), the
+// run aborts, or the context is cancelled. A nil ctxDone channel blocks
+// forever in select, so the uncancellable case costs nothing.
 func (sr *sharedRun) wait(id int) error {
+	if sr.ctxDone != nil {
+		select {
+		case <-sr.ctxDone:
+			return sr.ctx.Err()
+		default:
+		}
+	}
 	select {
 	case <-sr.gates[id].ready:
 		return nil
@@ -63,6 +77,8 @@ func (sr *sharedRun) wait(id int) error {
 		return nil
 	case <-sr.abort:
 		return errSharedAborted
+	case <-sr.ctxDone:
+		return sr.ctx.Err()
 	}
 }
 
@@ -83,14 +99,30 @@ func (sr *sharedRun) done(id int) {
 // dependency structure of the static schedule, executed zero-copy. The
 // result equals FactorizeSeq to rounding and needs no gather step.
 func FactorizeShared(a *sparse.SymMatrix, sch *sched.Schedule) (*Factors, error) {
+	return FactorizeSharedCtx(context.Background(), a, sch, nil)
+}
+
+// FactorizeSharedCtx is FactorizeShared under a context and an optional
+// execution-trace recorder. Cancelling ctx aborts the run: processors
+// blocked on a task gate are woken immediately, compute-bound processors
+// observe the cancellation between tasks, and ctx.Err() is returned once
+// every worker goroutine has unwound (none leak). A nil recorder disables
+// tracing at the cost of one pointer comparison per task.
+func FactorizeSharedCtx(ctx context.Context, a *sparse.SymMatrix, sch *sched.Schedule, rec *trace.Recorder) (*Factors, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	sym := sch.Sym()
 	sr := &sharedRun{
-		sch:   sch,
-		f:     NewFactors(sym),
-		gates: make([]taskGate, len(sch.Tasks)),
-		locks: make([]sync.Mutex, len(sch.Tasks)),
-		invd:  make([][]float64, sym.NumCB()),
-		abort: make(chan struct{}),
+		sch:     sch,
+		f:       NewFactors(sym),
+		gates:   make([]taskGate, len(sch.Tasks)),
+		locks:   make([]sync.Mutex, len(sch.Tasks)),
+		invd:    make([][]float64, sym.NumCB()),
+		rec:     rec,
+		ctx:     ctx,
+		ctxDone: ctx.Done(),
+		abort:   make(chan struct{}),
 	}
 	for i, d := range sch.InDegrees() {
 		sr.gates[i].ready = make(chan struct{})
@@ -150,6 +182,10 @@ func (sr *sharedRun) runPhase(fn func(p int) error) error {
 }
 
 func (sr *sharedRun) assemble(a *sparse.SymMatrix, p int) error {
+	var start time.Duration
+	if sr.rec != nil {
+		start = sr.rec.Now()
+	}
 	for _, id := range sr.sch.ByProc[p] {
 		t := &sr.sch.Tasks[id]
 		var err error
@@ -165,6 +201,9 @@ func (sr *sharedRun) assemble(a *sparse.SymMatrix, p int) error {
 			return err
 		}
 	}
+	if sr.rec != nil {
+		sr.rec.Phase(p, trace.PhaseAssemble, start, sr.rec.Now())
+	}
 	return nil
 }
 
@@ -174,6 +213,12 @@ func (sr *sharedRun) execute(p int) error {
 			return err
 		}
 		t := &sr.sch.Tasks[id]
+		// Interval starts after wait so it measures execution only; idle time
+		// is the gap between consecutive task events on this processor.
+		var start time.Duration
+		if sr.rec != nil {
+			start = sr.rec.Now()
+		}
 		var err error
 		switch t.Type {
 		case sched.Comp1D:
@@ -188,12 +233,19 @@ func (sr *sharedRun) execute(p int) error {
 		if err != nil {
 			return err
 		}
+		if sr.rec != nil {
+			sr.rec.Task(p, id, t.Type, t.Cell, t.S, t.T, start, sr.rec.Now())
+		}
 		sr.done(id)
 	}
 	return nil
 }
 
 func (sr *sharedRun) scale(p int) error {
+	var start time.Duration
+	if sr.rec != nil {
+		start = sr.rec.Now()
+	}
 	sym := sr.sch.Sym()
 	for _, id := range sr.sch.ByProc[p] {
 		t := &sr.sch.Tasks[id]
@@ -204,6 +256,9 @@ func (sr *sharedRun) scale(p int) error {
 		blk := cb.Blocks[t.S]
 		off := sr.f.BlockOff[t.Cell][t.S]
 		blas.ScaleColumns(blk.Rows(), cb.Width(), sr.f.Data[t.Cell][off:], sr.f.LD[t.Cell], sr.f.Diag(t.Cell))
+	}
+	if sr.rec != nil {
+		sr.rec.Phase(p, trace.PhaseScale, start, sr.rec.Now())
 	}
 	return nil
 }

@@ -1,11 +1,14 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/pastix-go/pastix/internal/blas"
 	"github.com/pastix-go/pastix/internal/sched"
+	"github.com/pastix-go/pastix/internal/trace"
 )
 
 // SolveShared is the shared-memory counterpart of SolvePar: the block
@@ -17,15 +20,30 @@ import (
 // from the shared vector once the owner signals them solved. The result
 // matches the sequential Solve to rounding.
 func SolveShared(sch *sched.Schedule, f *Factors, b []float64) ([]float64, error) {
+	return SolveSharedCtx(context.Background(), sch, f, b, nil)
+}
+
+// SolveSharedCtx is SolveShared under a context and an optional trace
+// recorder. Cancelling ctx wakes processors blocked on cell gates and
+// ctx.Err() is returned once every worker has unwound. With a recorder
+// attached, each processor records its forward and backward sweeps as phase
+// events.
+func SolveSharedCtx(ctx context.Context, sch *sched.Schedule, f *Factors, b []float64, rec *trace.Recorder) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	sym := sch.Sym()
 	if len(b) != sym.N {
-		return nil, fmt.Errorf("solver: rhs length %d, matrix order %d", len(b), sym.N)
+		return nil, fmt.Errorf("solver: rhs length %d, matrix order %d: %w", len(b), sym.N, ErrShape)
 	}
 	pl := newSolvePlan(sch)
 	ncb := sym.NumCB()
 	ss := &sharedSolve{
 		pl:      pl,
 		f:       f,
+		rec:     rec,
+		ctx:     ctx,
+		ctxDone: ctx.Done(),
 		y:       make([]float64, sym.N),
 		x:       make([]float64, sym.N),
 		acc:     make([][]float64, ncb),
@@ -56,20 +74,30 @@ func SolveShared(sch *sched.Schedule, f *Factors, b []float64) ([]float64, error
 		}
 	}
 	prepare(func(k int) int32 { return fwdTotal[k] })
-	if err := ss.runSweep(sch.P, func(p int) error { return ss.forward(p, b) }); err != nil {
+	if err := ss.runSweep(sch.P, trace.PhaseForward, func(p int) error { return ss.forward(p, b) }); err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 		return nil, err
 	}
 	// Backward sweep: the dot-products for cell k come from k's own blocks.
 	prepare(func(k int) int32 { return bwdTotal[k] })
-	if err := ss.runSweep(sch.P, ss.backward); err != nil {
+	if err := ss.runSweep(sch.P, trace.PhaseBackward, ss.backward); err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 		return nil, err
 	}
 	return ss.x, nil
 }
 
 type sharedSolve struct {
-	pl *solvePlan
-	f  *Factors
+	pl  *solvePlan
+	f   *Factors
+	rec *trace.Recorder // nil disables tracing
+
+	ctx     context.Context
+	ctxDone <-chan struct{} // ctx.Done(); nil when uncancellable
 
 	y, x    []float64
 	acc     [][]float64  // per-cell contribution accumulator (lazily allocated)
@@ -81,7 +109,7 @@ type sharedSolve struct {
 	abortOnce sync.Once
 }
 
-func (ss *sharedSolve) runSweep(P int, fn func(p int) error) error {
+func (ss *sharedSolve) runSweep(P int, phase int8, fn func(p int) error) error {
 	ss.abort = make(chan struct{})
 	ss.abortOnce = sync.Once{}
 	errs := make([]error, P)
@@ -90,9 +118,17 @@ func (ss *sharedSolve) runSweep(P int, fn func(p int) error) error {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
+			var start time.Duration
+			if ss.rec != nil {
+				start = ss.rec.Now()
+			}
 			if err := fn(p); err != nil {
 				errs[p] = err
 				ss.abortOnce.Do(func() { close(ss.abort) })
+				return
+			}
+			if ss.rec != nil {
+				ss.rec.Phase(p, phase, start, ss.rec.Now())
 			}
 		}(p)
 	}
@@ -105,12 +141,16 @@ func (ss *sharedSolve) runSweep(P int, fn func(p int) error) error {
 	return nil
 }
 
+// waitGate blocks until the gate opens, the sweep aborts, or the context is
+// cancelled (a nil ctxDone channel never fires).
 func (ss *sharedSolve) waitGate(g *taskGate) error {
 	select {
 	case <-g.ready:
 		return nil
 	case <-ss.abort:
 		return errSharedAborted
+	case <-ss.ctxDone:
+		return ss.ctx.Err()
 	}
 }
 
@@ -120,6 +160,8 @@ func (ss *sharedSolve) waitSolved(k int) error {
 		return nil
 	case <-ss.abort:
 		return errSharedAborted
+	case <-ss.ctxDone:
+		return ss.ctx.Err()
 	}
 }
 

@@ -183,11 +183,13 @@ func (f *Factors) NNZ() int64 {
 	return t
 }
 
-// FactorDiag factors cell k's diagonal block in place (dense LDLᵀ).
+// FactorDiag factors cell k's diagonal block in place (dense LDLᵀ). A pivot
+// breakdown is reported as a *ZeroPivotError (matching ErrNotSPD) with the
+// global column.
 func (f *Factors) FactorDiag(k int) error {
 	w := f.Sym.CB[k].Width()
 	if err := blas.LDLT(w, f.Data[k], f.LD[k]); err != nil {
-		return fmt.Errorf("solver: cb %d: %w", k, err)
+		return f.pivotError(k, err)
 	}
 	return nil
 }

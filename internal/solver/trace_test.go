@@ -1,0 +1,199 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/pastix-go/pastix/internal/gen"
+	"github.com/pastix-go/pastix/internal/trace"
+)
+
+// TestTraceCoversSchedule runs a traced factorization under both runtimes
+// and checks the recorder holds exactly one task event per schedule task,
+// and that the divergence report's per-processor busy times equal the sums
+// of the recorded task durations.
+func TestTraceCoversSchedule(t *testing.T) {
+	a := gen.Laplacian3D(8, 8, 8)
+	for _, shared := range []bool{false, true} {
+		name := "mpsim"
+		if shared {
+			name = "shared"
+		}
+		t.Run(name, func(t *testing.T) {
+			an := analyzeFor(t, a, 4)
+			rec := trace.New(4, 0)
+			_, _, err := FactorizeParStatsCtx(context.Background(), an.A, an.Sched,
+				ParOptions{SharedMemory: shared, Trace: rec})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tasks := rec.TaskEvents()
+			if len(tasks) != len(an.Sched.Tasks) {
+				t.Fatalf("traced %d tasks, schedule has %d", len(tasks), len(an.Sched.Tasks))
+			}
+			rp, err := trace.Compare(an.Sched, rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			busy := make([]float64, 4)
+			for _, e := range tasks {
+				busy[e.Proc] += (e.End - e.Start).Seconds()
+			}
+			for p := range rp.Procs {
+				if math.Abs(rp.Procs[p].MeasBusy-busy[p]) > 1e-12 {
+					t.Fatalf("proc %d: report busy %g != summed task durations %g",
+						p, rp.Procs[p].MeasBusy, busy[p])
+				}
+			}
+			if rp.MeasuredMakespan <= 0 {
+				t.Fatalf("measured makespan %g, want > 0", rp.MeasuredMakespan)
+			}
+			if shared {
+				if rp.MsgsSent != 0 {
+					t.Fatalf("shared runtime sent %d messages, want 0", rp.MsgsSent)
+				}
+			} else if rp.MsgsSent == 0 {
+				t.Fatal("mpsim runtime recorded no messages")
+			}
+		})
+	}
+}
+
+// TestTraceSpillEvents checks the fan-both memory bound shows up as spill
+// events in the trace.
+func TestTraceSpillEvents(t *testing.T) {
+	a := gen.Laplacian3D(8, 8, 8)
+	an := analyzeFor(t, a, 4)
+	rec := trace.New(4, 0)
+	_, stats, err := FactorizeParStatsCtx(context.Background(), an.A, an.Sched,
+		ParOptions{MaxAUBBytes: 1, Trace: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := trace.Compare(an.Sched, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Messages > stats.PredictedMessages && rp.SpillCount == 0 {
+		t.Fatalf("fan-both sent %d > %d predicted messages but recorded no spills",
+			stats.Messages, stats.PredictedMessages)
+	}
+}
+
+// waitGoroutines polls until the goroutine count drops back to at most base,
+// tolerating the runtime's own background goroutines.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d now, %d before", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestFactorizeCtxPreCancelled: an already-cancelled context aborts before
+// any work starts, under both runtimes, without leaking goroutines.
+func TestFactorizeCtxPreCancelled(t *testing.T) {
+	a := laplacian2D(15, 15)
+	an := analyzeFor(t, a, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	base := runtime.NumGoroutine()
+	for _, shared := range []bool{false, true} {
+		_, _, err := FactorizeParStatsCtx(ctx, an.A, an.Sched, ParOptions{SharedMemory: shared})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("shared=%v: got %v, want context.Canceled", shared, err)
+		}
+	}
+	waitGoroutines(t, base)
+}
+
+// TestFactorizeCtxCancelMidRun cancels concurrently with the run: the call
+// must return (no deadlock with receivers blocked in Recv or gate waits) and
+// report context.Canceled unless it already finished, with all worker
+// goroutines unwound either way.
+func TestFactorizeCtxCancelMidRun(t *testing.T) {
+	a := gen.Laplacian3D(10, 10, 10)
+	for _, shared := range []bool{false, true} {
+		an := analyzeFor(t, a, 4)
+		base := runtime.NumGoroutine()
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(200 * time.Microsecond)
+			cancel()
+		}()
+		_, _, err := FactorizeParStatsCtx(ctx, an.A, an.Sched, ParOptions{SharedMemory: shared})
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("shared=%v: got %v, want nil or context.Canceled", shared, err)
+		}
+		cancel()
+		waitGoroutines(t, base+1) // +1 tolerates the exiting cancel goroutine
+	}
+}
+
+// TestSolveCtxPreCancelled covers both parallel solve runtimes.
+func TestSolveCtxPreCancelled(t *testing.T) {
+	a := laplacian2D(15, 15)
+	an := analyzeFor(t, a, 4)
+	f, err := FactorizePar(an.A, an.Sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, an.A.N)
+	for i := range b {
+		b[i] = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SolveParCtx(ctx, an.Sched, f, b, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveParCtx: got %v, want context.Canceled", err)
+	}
+	if _, err := SolveSharedCtx(ctx, an.Sched, f, b, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveSharedCtx: got %v, want context.Canceled", err)
+	}
+}
+
+// TestTracedSolvePhases checks the solves record forward/backward phase
+// events for every processor.
+func TestTracedSolvePhases(t *testing.T) {
+	a := laplacian2D(15, 15)
+	an := analyzeFor(t, a, 4)
+	f, err := FactorizePar(an.A, an.Sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, an.A.N)
+	for i := range b {
+		b[i] = 1
+	}
+	for _, shared := range []bool{false, true} {
+		rec := trace.New(4, 0)
+		var serr error
+		if shared {
+			_, serr = SolveSharedCtx(context.Background(), an.Sched, f, b, rec)
+		} else {
+			_, serr = SolveParCtx(context.Background(), an.Sched, f, b, rec)
+		}
+		if serr != nil {
+			t.Fatal(serr)
+		}
+		var phases int
+		for _, e := range rec.Events() {
+			if e.Kind == trace.KindPhase {
+				phases++
+			}
+		}
+		if phases != 2*4 {
+			t.Fatalf("shared=%v: got %d phase events, want %d (fwd+bwd per proc)", shared, phases, 2*4)
+		}
+	}
+}

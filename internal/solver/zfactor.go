@@ -101,7 +101,7 @@ func FactorizeZSeq(az *sparse.ZSymMatrix, sym *symbolic.Symbol) (*ZFactors, erro
 		w := cb.Width()
 		ld := f.LD[k]
 		if err := blas.ZLDLT(w, f.Data[k], ld); err != nil {
-			return nil, fmt.Errorf("solver: cb %d: %w", k, err)
+			return nil, wrapPivot(cb.Cols[0], k, err)
 		}
 		r := cb.RowsBelow()
 		if r > 0 {

@@ -321,7 +321,7 @@ func (st *zProcState) execComp1D(t *sched.Task) error {
 	w := cb.Width()
 	ld := st.f.LD[k]
 	if err := blas.ZLDLT(w, st.f.Data[k], ld); err != nil {
-		return fmt.Errorf("solver: cb %d: %w", k, err)
+		return wrapPivot(cb.Cols[0], k, err)
 	}
 	r := cb.RowsBelow()
 	if r > 0 {
@@ -358,7 +358,7 @@ func (st *zProcState) execFactor(t *sched.Task) error {
 	w := st.sch.Sym().CB[k].Width()
 	ld := st.f.LD[k]
 	if err := blas.ZLDLT(w, st.f.Data[k], ld); err != nil {
-		return fmt.Errorf("solver: cb %d: %w", k, err)
+		return wrapPivot(st.sch.Sym().CB[k].Cols[0], k, err)
 	}
 	if dsts := st.pr.sendTo[t.ID]; len(dsts) > 0 {
 		buf := make([]complex128, w*w)

@@ -27,6 +27,7 @@
 package pastix
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -37,6 +38,7 @@ import (
 	"github.com/pastix-go/pastix/internal/part"
 	"github.com/pastix-go/pastix/internal/solver"
 	"github.com/pastix-go/pastix/internal/sparse"
+	"github.com/pastix-go/pastix/internal/trace"
 )
 
 // Matrix is a symmetric sparse matrix (lower triangle stored, CSC).
@@ -124,6 +126,32 @@ type Options struct {
 	SharedMemory bool
 }
 
+// Validate checks the options for consistency. The zero value is always
+// valid (every field has a documented default: Processors 1, BlockSize 64,
+// Ratio2D 4, LeafSize 120, ordering OrderScotchLike); negative counts and
+// unknown ordering methods fail with an error matching ErrBadOptions.
+// Analyze calls it, so explicit calls are needed only to validate early.
+func (o Options) Validate() error {
+	if o.Processors < 0 {
+		return fmt.Errorf("%w: Processors %d is negative", ErrBadOptions, o.Processors)
+	}
+	if o.BlockSize < 0 {
+		return fmt.Errorf("%w: BlockSize %d is negative", ErrBadOptions, o.BlockSize)
+	}
+	if o.Ratio2D < 0 {
+		return fmt.Errorf("%w: Ratio2D %d is negative", ErrBadOptions, o.Ratio2D)
+	}
+	if o.LeafSize < 0 {
+		return fmt.Errorf("%w: LeafSize %d is negative", ErrBadOptions, o.LeafSize)
+	}
+	switch o.Ordering {
+	case OrderScotchLike, OrderMetisLike, OrderAMD, OrderNatural:
+	default:
+		return fmt.Errorf("%w: unknown ordering method %d", ErrBadOptions, o.Ordering)
+	}
+	return nil
+}
+
 // Analysis is the reusable result of the pre-processing phases. All methods
 // are safe for concurrent use once constructed.
 type Analysis struct {
@@ -140,8 +168,18 @@ type Factor struct {
 // Analyze orders the matrix, computes the block symbolic factorization, and
 // builds the static schedule for opts.Processors virtual processors.
 func Analyze(a *Matrix, opts Options) (*Analysis, error) {
+	return AnalyzeContext(context.Background(), a, opts)
+}
+
+// AnalyzeContext is Analyze under a context: the analysis phases are
+// sequential CPU-bound passes, so cancellation is observed at phase
+// boundaries and ctx.Err() is returned at the first boundary after it.
+func AnalyzeContext(ctx context.Context, a *Matrix, opts Options) (*Analysis, error) {
 	if a == nil {
 		return nil, fmt.Errorf("pastix: nil matrix")
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
 	var m order.Method
 	switch opts.Ordering {
@@ -153,8 +191,6 @@ func Analyze(a *Matrix, opts Options) (*Analysis, error) {
 		m = order.PureAMD
 	case OrderNatural:
 		m = order.Natural
-	default:
-		return nil, fmt.Errorf("pastix: unknown ordering method %d", opts.Ordering)
 	}
 	var mach *cost.Machine
 	if opts.CalibrateMachine {
@@ -164,7 +200,7 @@ func Analyze(a *Matrix, opts Options) (*Analysis, error) {
 			return nil, err
 		}
 	}
-	inner, err := solver.Analyze(a, solver.Options{
+	inner, err := solver.AnalyzeCtx(ctx, a, solver.Options{
 		P: opts.Processors,
 		Ordering: order.Options{
 			Method:     m,
@@ -208,7 +244,15 @@ func SchurComplement(a *Matrix, schurVars []int, opts Options) ([]float64, []int
 // fan-in by default, the zero-copy shared-memory runtime when the analysis
 // was built with Options.SharedMemory.
 func (an *Analysis) Factorize() (*Factor, error) {
-	f, err := an.inner.FactorizeOpts(solver.ParOptions{SharedMemory: an.shared})
+	return an.FactorizeContext(context.Background())
+}
+
+// FactorizeContext is Factorize under a context: cancelling ctx aborts the
+// parallel runtimes — every worker goroutine unwinds before the call
+// returns — and ctx.Err() (context.Canceled or context.DeadlineExceeded)
+// is reported.
+func (an *Analysis) FactorizeContext(ctx context.Context) (*Factor, error) {
+	f, err := an.inner.FactorizeOptsCtx(ctx, solver.ParOptions{SharedMemory: an.shared})
 	if err != nil {
 		return nil, err
 	}
@@ -218,10 +262,10 @@ func (an *Analysis) Factorize() (*Factor, error) {
 // Solve returns x with A·x = b (original ordering; b is not modified).
 func (an *Analysis) Solve(f *Factor, b []float64) ([]float64, error) {
 	if f == nil || f.an != an.inner {
-		return nil, fmt.Errorf("pastix: factor does not belong to this analysis")
+		return nil, ErrFactorMismatch
 	}
 	if len(b) != an.inner.A.N {
-		return nil, fmt.Errorf("pastix: rhs length %d, matrix order %d", len(b), an.inner.A.N)
+		return nil, fmt.Errorf("pastix: rhs length %d, matrix order %d: %w", len(b), an.inner.A.N, ErrShape)
 	}
 	return an.inner.SolveOriginal(f.inner, b), nil
 }
@@ -231,21 +275,32 @@ func (an *Analysis) Solve(f *Factor, b []float64) ([]float64, error) {
 // analysis was built with Options.SharedMemory (same result as Solve to
 // rounding either way).
 func (an *Analysis) SolveParallel(f *Factor, b []float64) ([]float64, error) {
+	return an.SolveParallelContext(context.Background(), f, b)
+}
+
+// SolveParallelContext is SolveParallel under a context: cancelling ctx
+// aborts both sweeps, unwinding every worker goroutine before returning
+// ctx.Err().
+func (an *Analysis) SolveParallelContext(ctx context.Context, f *Factor, b []float64) ([]float64, error) {
+	return an.solveParallel(ctx, f, b, nil)
+}
+
+func (an *Analysis) solveParallel(ctx context.Context, f *Factor, b []float64, rec *trace.Recorder) ([]float64, error) {
 	if f == nil || f.an != an.inner {
-		return nil, fmt.Errorf("pastix: factor does not belong to this analysis")
+		return nil, ErrFactorMismatch
 	}
 	if len(b) != an.inner.A.N {
-		return nil, fmt.Errorf("pastix: rhs length %d, matrix order %d", len(b), an.inner.A.N)
+		return nil, fmt.Errorf("pastix: rhs length %d, matrix order %d: %w", len(b), an.inner.A.N, ErrShape)
 	}
 	pb := make([]float64, len(b))
 	for newI, old := range an.inner.Perm {
 		pb[newI] = b[old]
 	}
-	solve := solver.SolvePar
+	solve := solver.SolveParCtx
 	if an.shared {
-		solve = solver.SolveShared
+		solve = solver.SolveSharedCtx
 	}
-	px, err := solve(an.inner.Sched, f.inner, pb)
+	px, err := solve(ctx, an.inner.Sched, f.inner, pb, rec)
 	if err != nil {
 		return nil, err
 	}
@@ -263,10 +318,10 @@ func (an *Analysis) SolveParallel(f *Factor, b []float64) ([]float64, error) {
 func (an *Analysis) SolveMany(f *Factor, b []float64, nrhs int) ([]float64, error) {
 	n := an.inner.A.N
 	if f == nil || f.an != an.inner {
-		return nil, fmt.Errorf("pastix: factor does not belong to this analysis")
+		return nil, ErrFactorMismatch
 	}
 	if nrhs <= 0 || len(b) != n*nrhs {
-		return nil, fmt.Errorf("pastix: rhs panel must be n×nrhs = %d×%d", n, nrhs)
+		return nil, fmt.Errorf("pastix: rhs panel must be n×nrhs = %d×%d: %w", n, nrhs, ErrShape)
 	}
 	pb := make([]float64, len(b))
 	for r := 0; r < nrhs; r++ {
@@ -406,7 +461,7 @@ func AnalyzeComplex(az *ZMatrix, opts Options) (*Analysis, error) {
 // the schedule-driven parallel fan-in runtime is used.
 func (an *Analysis) FactorizeComplex(az *ZMatrix) (*ZFactor, error) {
 	if az == nil || az.N != an.inner.A.N {
-		return nil, fmt.Errorf("pastix: complex matrix shape mismatch")
+		return nil, fmt.Errorf("pastix: complex matrix shape mismatch: %w", ErrShape)
 	}
 	paz := az.Permute(an.inner.Perm)
 	var zf *solver.ZFactors
@@ -425,10 +480,10 @@ func (an *Analysis) FactorizeComplex(az *ZMatrix) (*ZFactor, error) {
 // SolveComplex solves A·x = b for the complex system (original ordering).
 func (an *Analysis) SolveComplex(f *ZFactor, b []complex128) ([]complex128, error) {
 	if f == nil || f.an != an.inner {
-		return nil, fmt.Errorf("pastix: complex factor does not belong to this analysis")
+		return nil, ErrFactorMismatch
 	}
 	if len(b) != an.inner.A.N {
-		return nil, fmt.Errorf("pastix: rhs length %d, matrix order %d", len(b), an.inner.A.N)
+		return nil, fmt.Errorf("pastix: rhs length %d, matrix order %d: %w", len(b), an.inner.A.N, ErrShape)
 	}
 	pb := make([]complex128, len(b))
 	for newI, old := range an.inner.Perm {
