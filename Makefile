@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet fmt-check check ci
+.PHONY: all build test race bench vet fmt-check check chaos ci
 
 all: ci
 
@@ -35,7 +35,16 @@ race-full:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
+# Chaos soak: the fault-injection suites under the race detector — the
+# reliability layer in mpsim, the injector itself, the multi-seed
+# factor/solve soak (bit-identical to fault-free), and the public-API
+# chaos round trips.
+chaos:
+	$(GO) test -race -timeout 300s -run 'Chaos|Fault|Reliab|Retry|Restart|Stall|Boundary' \
+		./internal/mpsim ./internal/faults ./internal/solver .
+
 check: build vet test race
 
-# The CI entry point (and default target): build, vet+gofmt, tests, race.
-ci: build vet test race
+# The CI entry point (and default target): build, vet+gofmt, tests, race,
+# then the chaos soak.
+ci: build vet test race chaos

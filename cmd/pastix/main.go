@@ -13,16 +13,35 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"github.com/pastix-go/pastix"
 	"github.com/pastix-go/pastix/internal/gen"
 )
+
+// Exit codes: 0 success, 1 generic failure, 2 numerical breakdown (matrix
+// not SPD / zero pivot), 3 invalid options, 4 fault-injection budget
+// exhausted (chaos run declared unrecoverable).
+func fatal(err error) {
+	code := 1
+	switch {
+	case errors.Is(err, pastix.ErrNotSPD):
+		code = 2
+	case errors.Is(err, pastix.ErrBadOptions):
+		code = 3
+	case errors.Is(err, pastix.ErrFaultBudget):
+		code = 4
+	}
+	log.Print(err)
+	os.Exit(code)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -41,12 +60,25 @@ func main() {
 		schedCSV  = flag.String("sched-csv", "", "write the static schedule as CSV to this file")
 		traceOut  = flag.String("trace", "", "trace the factorization and write Chrome trace-event JSON to this file (open in chrome://tracing or ui.perfetto.dev)")
 		traceRep  = flag.Bool("trace-report", false, "trace the factorization and print the predicted-vs-actual divergence report")
+
+		chaosSeed  = flag.Int64("chaos-seed", 0, "seed for deterministic fault injection (same seed replays the same faults)")
+		chaosDrop  = flag.Float64("chaos-drop", 0, "probability of dropping each wire transmission, in [0,1)")
+		chaosDup   = flag.Float64("chaos-dup", 0, "probability of duplicating each data message, in [0,1)")
+		chaosDelay = flag.Float64("chaos-delay", 0, "probability of delaying each delivery, in [0,1)")
+		chaosMaxD  = flag.Duration("chaos-max-delay", 0, "upper bound on injected delivery delays (default 1ms)")
+		chaosCrash = flag.String("chaos-crash", "", "crash schedule as proc:task[,proc:task...] — crash each proc once before that task index")
+		chaosStall = flag.String("chaos-stall", "", "stall schedule as proc:task:duration[,...] — e.g. 2:1:50ms")
 	)
 	flag.Parse()
 
+	plan, err := chaosPlanFromFlags(*chaosSeed, *chaosDrop, *chaosDup, *chaosDelay, *chaosMaxD, *chaosCrash, *chaosStall)
+	if err != nil {
+		fatal(fmt.Errorf("%w: %v", pastix.ErrBadOptions, err))
+	}
+
 	a, title, err := loadMatrix(*rsaPath, *genName, *scale)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("matrix   : %s (n=%d, nnz_A=%d)\n", title, a.N, a.NNZOffDiag())
 
@@ -61,7 +93,7 @@ func main() {
 	case "natural":
 		method = pastix.OrderNatural
 	default:
-		log.Fatalf("unknown ordering %q", *ordering)
+		fatal(fmt.Errorf("%w: unknown ordering %q", pastix.ErrBadOptions, *ordering))
 	}
 
 	var shared bool
@@ -70,7 +102,7 @@ func main() {
 	case "shared":
 		shared = true
 	default:
-		log.Fatalf("unknown runtime %q (want mpsim or shared)", *runtime)
+		fatal(fmt.Errorf("%w: unknown runtime %q (want mpsim or shared)", pastix.ErrBadOptions, *runtime))
 	}
 
 	start := time.Now()
@@ -80,9 +112,14 @@ func main() {
 		BlockSize:        *blockSize,
 		CalibrateMachine: *calibrate,
 		SharedMemory:     shared,
+		Faults:           plan,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
+	}
+	if plan != nil {
+		fmt.Printf("chaos    : seed %d, drop %.2f, dup %.2f, delay %.2f, %d crash(es), %d stall(s) scheduled\n",
+			plan.Seed, plan.Drop, plan.Dup, plan.Delay, len(plan.CrashAtStep), len(plan.StallAtStep))
 	}
 	tAnalyze := time.Since(start)
 	st := an.Stats()
@@ -99,24 +136,24 @@ func main() {
 		st.PredictedTime)
 	if *stats {
 		if err := an.WriteScheduleSummary(os.Stdout); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	}
 	if *gantt {
 		if err := an.WriteScheduleGantt(os.Stdout, 100); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	}
 	if *schedCSV != "" {
 		fh, err := os.Create(*schedCSV)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		if err := an.WriteScheduleCSV(fh); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		if err := fh.Close(); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("schedule : CSV written to %s\n", *schedCSV)
 	}
@@ -131,7 +168,7 @@ func main() {
 		f, err = an.Factorize()
 	}
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	tFactor := time.Since(start)
 	fmt.Printf("factorize: %.3fs wall (%.2f GFlop/s on OPC, %s runtime)\n",
@@ -139,19 +176,19 @@ func main() {
 	if *traceOut != "" {
 		fh, err := os.Create(*traceOut)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		if err := tr.WriteChromeTrace(fh); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		if err := fh.Close(); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("trace    : Chrome trace-event JSON written to %s\n", *traceOut)
 	}
 	if *traceRep {
 		if err := tr.WriteReport(os.Stdout); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	}
 
@@ -160,7 +197,7 @@ func main() {
 	start = time.Now()
 	x, err := an.Solve(f, b)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	tSolve := time.Since(start)
 	maxErr := 0.0
@@ -171,6 +208,53 @@ func main() {
 	}
 	fmt.Printf("solve    : %.3fs wall, residual %.2e, max |x-x_ref| %.2e\n",
 		tSolve.Seconds(), pastix.Residual(a, x, b), maxErr)
+}
+
+// chaosPlanFromFlags builds a FaultPlan from the -chaos-* flags, or nil when
+// none are set.
+func chaosPlanFromFlags(seed int64, drop, dup, delay float64, maxDelay time.Duration, crash, stall string) (*pastix.FaultPlan, error) {
+	plan := &pastix.FaultPlan{
+		Seed:     seed,
+		Drop:     drop,
+		Dup:      dup,
+		Delay:    delay,
+		MaxDelay: maxDelay,
+	}
+	if crash != "" {
+		plan.CrashAtStep = make(map[int]int)
+		for _, spec := range strings.Split(crash, ",") {
+			parts := strings.Split(spec, ":")
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("bad -chaos-crash entry %q (want proc:task)", spec)
+			}
+			proc, err1 := strconv.Atoi(parts[0])
+			task, err2 := strconv.Atoi(parts[1])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("bad -chaos-crash entry %q (want proc:task)", spec)
+			}
+			plan.CrashAtStep[proc] = task
+		}
+	}
+	if stall != "" {
+		plan.StallAtStep = make(map[int]pastix.FaultStall)
+		for _, spec := range strings.Split(stall, ",") {
+			parts := strings.Split(spec, ":")
+			if len(parts) != 3 {
+				return nil, fmt.Errorf("bad -chaos-stall entry %q (want proc:task:duration)", spec)
+			}
+			proc, err1 := strconv.Atoi(parts[0])
+			task, err2 := strconv.Atoi(parts[1])
+			dur, err3 := time.ParseDuration(parts[2])
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("bad -chaos-stall entry %q (want proc:task:duration)", spec)
+			}
+			plan.StallAtStep[proc] = pastix.FaultStall{Step: task, Duration: dur}
+		}
+	}
+	if !plan.Active() {
+		return nil, nil
+	}
+	return plan, nil
 }
 
 func loadMatrix(rsaPath, genName string, scale float64) (*pastix.Matrix, string, error) {

@@ -24,12 +24,25 @@ var (
 	// symbolic structure they were computed under.
 	ErrFactorMismatch = errors.New("pastix: factor does not belong to this analysis")
 	// ErrBadOptions reports invalid Options (negative Processors, BlockSize,
-	// Ratio2D or LeafSize, or an unknown ordering method). The wrapping error
-	// names the offending field.
+	// Ratio2D or LeafSize, an unknown ordering method, or an inconsistent
+	// FaultPlan). The wrapping error names the offending field.
 	ErrBadOptions = errors.New("pastix: invalid options")
+	// ErrFaultBudget reports that a fault-injected run (Options.Faults)
+	// degraded past recovery: the reliability layer exhausted a message's
+	// resend budget or a worker's restart budget. The concrete error is a
+	// *FaultBudgetError carrying per-processor progress.
+	ErrFaultBudget = solver.ErrFaultBudget
 )
 
 // ZeroPivotError is the concrete error behind ErrNotSPD: the factorization
 // of column block Cell broke down at global column Column (in the permuted
 // ordering the analysis produced). errors.Is(err, ErrNotSPD) is true for it.
 type ZeroPivotError = solver.ZeroPivotError
+
+// FaultBudgetError is the concrete error behind ErrFaultBudget: how far each
+// virtual processor got through its task vector before recovery was
+// abandoned. errors.Is(err, ErrFaultBudget) is true for it.
+type FaultBudgetError = solver.FaultBudgetError
+
+// TaskProgress is one processor's entry in FaultBudgetError.Progress.
+type TaskProgress = solver.TaskProgress

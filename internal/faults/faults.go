@@ -1,0 +1,327 @@
+// Package faults is a seeded, deterministic fault injector for the mpsim
+// message-passing runtime. A Plan gives per-transmission drop/duplicate/delay
+// probabilities and per-processor crash and stall schedules; the Injector it
+// compiles to decides every fault by hashing (seed, decision, coordinates)
+// with a splitmix64-style mixer — no shared RNG state, so the fault sequence
+// for a given seed is identical regardless of goroutine interleaving, and a
+// chaos failure can be replayed from its seed alone.
+//
+// The injector implements mpsim.Injector for wire faults; workers additionally
+// call Boundary at each task boundary, which is where crashes and stalls fire
+// (a crash surfaces as an error matching mpsim.ErrCrashed, which Comm.Run
+// turns into a restart-and-replay).
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/pastix-go/pastix/internal/mpsim"
+	"github.com/pastix-go/pastix/internal/trace"
+)
+
+// Stall schedules one cooperative stall window on a processor: before
+// executing task Step, the worker blocks for Duration (or until the heartbeat
+// supervisor declares it dead and breaks the stall, whichever is first).
+type Stall struct {
+	Step     int
+	Duration time.Duration
+}
+
+// Plan configures deterministic fault injection. The zero value injects
+// nothing; probabilities are per wire transmission (resends and acks are
+// judged independently, so a message can be dropped repeatedly).
+type Plan struct {
+	Seed int64 // hash seed; same seed + same traffic → same faults
+
+	Drop  float64 // P(lose a transmission), in [0,1)
+	Dup   float64 // P(deliver an extra copy), in [0,1)
+	Delay float64 // P(hold a delivery back), in [0,1)
+
+	// MaxDelay bounds injected delivery delays (default 1ms). Keep it above
+	// the reliability RTO to exercise spurious resends, or below to keep
+	// delays benign.
+	MaxDelay time.Duration
+
+	// CrashAtStep crashes processor p once, immediately before it executes
+	// task index step of its (possibly restarted) run. The restarted worker
+	// replays from its completion log and does not crash again.
+	CrashAtStep map[int]int
+
+	// StallAtStep stalls processor p once, immediately before task index
+	// Step. Stalls shorter than the reliability StallTimeout end naturally
+	// (pure delay); longer ones are broken by the heartbeat supervisor and
+	// unwind as a crash + restart.
+	StallAtStep map[int]Stall
+
+	// Reliability tunes the mpsim retry/timeout/recovery machinery; the zero
+	// value selects its defaults.
+	Reliability mpsim.Reliability
+}
+
+// Active reports whether the plan injects any fault at all.
+func (p *Plan) Active() bool {
+	if p == nil {
+		return false
+	}
+	return p.Drop > 0 || p.Dup > 0 || p.Delay > 0 || len(p.CrashAtStep) > 0 || len(p.StallAtStep) > 0
+}
+
+// Validate checks the plan's probabilities and schedules.
+func (p *Plan) Validate() error {
+	check := func(name string, v float64) error {
+		if v < 0 || v >= 1 {
+			return fmt.Errorf("faults: %s probability %v outside [0,1)", name, v)
+		}
+		return nil
+	}
+	if err := check("drop", p.Drop); err != nil {
+		return err
+	}
+	if err := check("dup", p.Dup); err != nil {
+		return err
+	}
+	if err := check("delay", p.Delay); err != nil {
+		return err
+	}
+	if p.MaxDelay < 0 {
+		return fmt.Errorf("faults: negative MaxDelay %v", p.MaxDelay)
+	}
+	for proc, step := range p.CrashAtStep {
+		if proc < 0 || step < 0 {
+			return fmt.Errorf("faults: invalid crash schedule proc %d step %d", proc, step)
+		}
+	}
+	for proc, s := range p.StallAtStep {
+		if proc < 0 || s.Step < 0 || s.Duration <= 0 {
+			return fmt.Errorf("faults: invalid stall schedule proc %d step %d duration %v", proc, s.Step, s.Duration)
+		}
+	}
+	return nil
+}
+
+// Stats counts the faults an Injector actually fired.
+type Stats struct {
+	Drops        int64
+	Dups         int64
+	Delays       int64
+	Crashes      int64
+	Stalls       int64
+	BrokenStalls int64 // stalls ended by the heartbeat supervisor (→ restart)
+}
+
+// CrashError is the error a worker returns from Boundary to simulate its
+// crash; mpsim.Comm.Run matches it via errors.Is(err, mpsim.ErrCrashed) and
+// restarts the worker.
+type CrashError struct {
+	Proc    int
+	Step    int
+	Stalled bool // crash was a stall broken by the heartbeat supervisor
+}
+
+func (e *CrashError) Error() string {
+	if e.Stalled {
+		return fmt.Sprintf("faults: processor %d stalled before task %d, declared dead by supervisor", e.Proc, e.Step)
+	}
+	return fmt.Sprintf("faults: processor %d crashed before task %d", e.Proc, e.Step)
+}
+
+// Is makes errors.Is(err, mpsim.ErrCrashed) succeed for CrashError values.
+func (e *CrashError) Is(target error) bool { return errors.Is(mpsim.ErrCrashed, target) }
+
+// decision purposes fed into the hash so each independent draw for the same
+// transmission decorrelates.
+const (
+	purposeDrop = 1 + iota
+	purposeDup
+	purposeDupDelay
+	purposeDelay
+	purposeDelayMag
+)
+
+// Injector is a compiled Plan. Safe for concurrent use; FateOf is pure in
+// its arguments given the seed.
+type Injector struct {
+	plan Plan
+	rec  *trace.Recorder
+
+	mu      sync.Mutex
+	crashed map[int]bool          // crash schedule already fired
+	stalled map[int]bool          // stall schedule already fired
+	gates   map[int]chan struct{} // open stall gates, closed by BreakStall
+	stats   Stats
+}
+
+// New compiles a plan into an Injector. Returns an error if the plan is
+// invalid; a nil error never returns a nil injector.
+func New(plan Plan) (*Injector, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	if plan.MaxDelay <= 0 {
+		plan.MaxDelay = time.Millisecond
+	}
+	return &Injector{
+		plan:    plan,
+		crashed: make(map[int]bool),
+		stalled: make(map[int]bool),
+		gates:   make(map[int]chan struct{}),
+	}, nil
+}
+
+// SetTrace attaches a recorder; injected faults are recorded as KindFault
+// events. Call before the run starts.
+func (in *Injector) SetTrace(rec *trace.Recorder) { in.rec = rec }
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche mixer, used here
+// as a counter-based PRNG over decision coordinates.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// rnd draws a deterministic uniform in [0,1) for one decision about one
+// transmission.
+func (in *Injector) rnd(purpose, src, dst int, seq int64, attempt int, ack bool) float64 {
+	a := uint64(attempt) << 1
+	if ack {
+		a |= 1
+	}
+	h := mix64(uint64(in.plan.Seed))
+	h = mix64(h ^ uint64(purpose))
+	h = mix64(h ^ uint64(src)<<32 ^ uint64(dst))
+	h = mix64(h ^ uint64(seq))
+	h = mix64(h ^ a)
+	return float64(h>>11) / (1 << 53)
+}
+
+// FateOf implements mpsim.Injector: it judges one wire transmission.
+// Duplicates are only injected for data messages (acks are idempotent, a
+// duplicate ack would test nothing).
+func (in *Injector) FateOf(src, dst int, seq int64, attempt int, ack bool) mpsim.Fate {
+	var f mpsim.Fate
+	if in.plan.Drop > 0 && in.rnd(purposeDrop, src, dst, seq, attempt, ack) < in.plan.Drop {
+		f.Drop = true
+		in.count(func(s *Stats) { s.Drops++ })
+		if in.rec != nil {
+			in.rec.Fault(src, trace.FaultDrop, int(seq), 0)
+		}
+		return f
+	}
+	if !ack && in.plan.Dup > 0 && in.rnd(purposeDup, src, dst, seq, attempt, ack) < in.plan.Dup {
+		f.Dup = true
+		f.DupDelay = time.Duration(in.rnd(purposeDupDelay, src, dst, seq, attempt, ack) * float64(in.plan.MaxDelay))
+		in.count(func(s *Stats) { s.Dups++ })
+		if in.rec != nil {
+			in.rec.Fault(src, trace.FaultDup, int(seq), 0)
+		}
+	}
+	if in.plan.Delay > 0 && in.rnd(purposeDelay, src, dst, seq, attempt, ack) < in.plan.Delay {
+		f.Delay = time.Duration(in.rnd(purposeDelayMag, src, dst, seq, attempt, ack) * float64(in.plan.MaxDelay))
+		if f.Delay > 0 {
+			in.count(func(s *Stats) { s.Delays++ })
+			if in.rec != nil {
+				in.rec.Fault(src, trace.FaultDelay, int(seq), int64(f.Delay))
+			}
+		}
+	}
+	return f
+}
+
+// Boundary is called by a worker on processor p immediately before executing
+// its task at index step. It fires the plan's crash and stall schedules:
+// a non-nil return means the worker must unwind with that error (it matches
+// mpsim.ErrCrashed, so Run restarts it). Each schedule entry fires at most
+// once across restarts — the replay after a crash runs clean.
+func (in *Injector) Boundary(p, step int) error {
+	if in == nil {
+		return nil
+	}
+	if s, ok := in.plan.CrashAtStep[p]; ok && s == step {
+		in.mu.Lock()
+		fire := !in.crashed[p]
+		in.crashed[p] = true
+		if fire {
+			in.stats.Crashes++
+		}
+		in.mu.Unlock()
+		if fire {
+			if in.rec != nil {
+				in.rec.Fault(p, trace.FaultCrash, step, 0)
+			}
+			return &CrashError{Proc: p, Step: step}
+		}
+	}
+	if s, ok := in.plan.StallAtStep[p]; ok && s.Step == step {
+		in.mu.Lock()
+		fire := !in.stalled[p]
+		in.stalled[p] = true
+		var gate chan struct{}
+		if fire {
+			in.stats.Stalls++
+			gate = make(chan struct{})
+			in.gates[p] = gate
+		}
+		in.mu.Unlock()
+		if fire {
+			if in.rec != nil {
+				in.rec.Fault(p, trace.FaultStall, step, int64(s.Duration))
+			}
+			t := time.NewTimer(s.Duration)
+			broken := false
+			select {
+			case <-t.C:
+			case <-gate:
+				broken = true
+			}
+			t.Stop()
+			in.mu.Lock()
+			if in.gates[p] == gate {
+				delete(in.gates, p)
+			}
+			if broken {
+				in.stats.BrokenStalls++
+			}
+			in.mu.Unlock()
+			if broken {
+				return &CrashError{Proc: p, Step: step, Stalled: true}
+			}
+		}
+	}
+	return nil
+}
+
+// BreakStall implements mpsim.Injector: the heartbeat supervisor calls it
+// when p's heartbeat goes stale. It ends p's stall (the stalled worker then
+// unwinds as a crash and is restarted) and reports whether p was actually
+// stalled — a stale heartbeat on a worker merely blocked in Recv is left
+// alone.
+func (in *Injector) BreakStall(p int) bool {
+	in.mu.Lock()
+	gate, ok := in.gates[p]
+	if ok {
+		delete(in.gates, p)
+	}
+	in.mu.Unlock()
+	if ok {
+		close(gate)
+	}
+	return ok
+}
+
+// Stats returns the counts of faults fired so far.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+func (in *Injector) count(f func(*Stats)) {
+	in.mu.Lock()
+	f(&in.stats)
+	in.mu.Unlock()
+}

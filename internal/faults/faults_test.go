@@ -1,0 +1,193 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/pastix-go/pastix/internal/mpsim"
+)
+
+func mustNew(t *testing.T, plan Plan) *Injector {
+	t.Helper()
+	in, err := New(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// Same seed must yield the same fate for every transmission regardless of
+// call order; a different seed must disagree somewhere.
+func TestFateDeterminism(t *testing.T) {
+	plan := Plan{Seed: 42, Drop: 0.3, Dup: 0.3, Delay: 0.3, MaxDelay: time.Millisecond}
+	a := mustNew(t, plan)
+	b := mustNew(t, plan)
+	plan.Seed = 43
+	c := mustNew(t, plan)
+	differs := false
+	for src := 0; src < 3; src++ {
+		for dst := 0; dst < 3; dst++ {
+			for seq := int64(0); seq < 50; seq++ {
+				for attempt := 0; attempt < 3; attempt++ {
+					for _, ack := range []bool{false, true} {
+						fa := a.FateOf(src, dst, seq, attempt, ack)
+						fb := b.FateOf(src, dst, seq, attempt, ack)
+						if fa != fb {
+							t.Fatalf("same seed disagrees at (%d,%d,%d,%d,%v): %+v vs %+v",
+								src, dst, seq, attempt, ack, fa, fb)
+						}
+						if fa != c.FateOf(src, dst, seq, attempt, ack) {
+							differs = true
+						}
+					}
+				}
+			}
+		}
+	}
+	if !differs {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+// Drop frequency should track the configured probability roughly.
+func TestDropRate(t *testing.T) {
+	in := mustNew(t, Plan{Seed: 7, Drop: 0.5})
+	drops := 0
+	const n = 2000
+	for seq := int64(0); seq < n; seq++ {
+		if in.FateOf(0, 1, seq, 0, false).Drop {
+			drops++
+		}
+	}
+	if drops < n/3 || drops > 2*n/3 {
+		t.Fatalf("drop rate %d/%d far from configured 0.5", drops, n)
+	}
+	if st := in.Stats(); st.Drops != int64(drops) {
+		t.Fatalf("stats drops %d, counted %d", st.Drops, drops)
+	}
+}
+
+func TestAcksNeverDuplicated(t *testing.T) {
+	in := mustNew(t, Plan{Seed: 3, Dup: 0.9})
+	for seq := int64(0); seq < 500; seq++ {
+		if in.FateOf(0, 1, seq, 0, true).Dup {
+			t.Fatal("duplicated an ack")
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Plan{
+		{Drop: 1.0},
+		{Dup: -0.1},
+		{Delay: 2},
+		{MaxDelay: -time.Second},
+		{CrashAtStep: map[int]int{-1: 0}},
+		{StallAtStep: map[int]Stall{0: {Step: 1, Duration: 0}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("plan %d: invalid plan accepted", i)
+		}
+		if _, err := New(p); err == nil {
+			t.Errorf("plan %d: New accepted invalid plan", i)
+		}
+	}
+	if err := (&Plan{Seed: 1, Drop: 0.5, CrashAtStep: map[int]int{0: 3}}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestActive(t *testing.T) {
+	var nilPlan *Plan
+	if nilPlan.Active() {
+		t.Fatal("nil plan active")
+	}
+	if (&Plan{Seed: 99}).Active() {
+		t.Fatal("no-fault plan active")
+	}
+	if !(&Plan{Drop: 0.1}).Active() || !(&Plan{CrashAtStep: map[int]int{0: 0}}).Active() {
+		t.Fatal("faulty plan inactive")
+	}
+}
+
+// A scheduled crash fires exactly once, matches mpsim.ErrCrashed, and the
+// replay after the restart runs clean.
+func TestBoundaryCrashOnce(t *testing.T) {
+	in := mustNew(t, Plan{CrashAtStep: map[int]int{1: 3}})
+	if err := in.Boundary(0, 3); err != nil {
+		t.Fatalf("wrong proc crashed: %v", err)
+	}
+	if err := in.Boundary(1, 2); err != nil {
+		t.Fatalf("wrong step crashed: %v", err)
+	}
+	err := in.Boundary(1, 3)
+	if err == nil {
+		t.Fatal("scheduled crash did not fire")
+	}
+	if !errors.Is(err, mpsim.ErrCrashed) {
+		t.Fatalf("crash not matchable: %v", err)
+	}
+	var ce *CrashError
+	if !errors.As(err, &ce) || ce.Proc != 1 || ce.Step != 3 || ce.Stalled {
+		t.Fatalf("crash detail wrong: %+v", ce)
+	}
+	if err := in.Boundary(1, 3); err != nil {
+		t.Fatalf("crash fired twice: %v", err)
+	}
+	if st := in.Stats(); st.Crashes != 1 {
+		t.Fatalf("crashes = %d, want 1", st.Crashes)
+	}
+}
+
+// A stall shorter than any supervision is a pure delay: Boundary returns nil
+// after the window.
+func TestBoundaryStallEndsNaturally(t *testing.T) {
+	in := mustNew(t, Plan{StallAtStep: map[int]Stall{0: {Step: 2, Duration: time.Millisecond}}})
+	start := time.Now()
+	if err := in.Boundary(0, 2); err != nil {
+		t.Fatalf("natural stall crashed: %v", err)
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("stall did not block")
+	}
+	if err := in.Boundary(0, 2); err != nil {
+		t.Fatalf("stall fired twice: %v", err)
+	}
+	st := in.Stats()
+	if st.Stalls != 1 || st.BrokenStalls != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// BreakStall ends a long stall and the worker unwinds as a crash.
+func TestBreakStall(t *testing.T) {
+	in := mustNew(t, Plan{StallAtStep: map[int]Stall{2: {Step: 0, Duration: time.Minute}}})
+	if in.BreakStall(2) {
+		t.Fatal("broke a stall that has not started")
+	}
+	done := make(chan error, 1)
+	go func() { done <- in.Boundary(2, 0) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for !in.BreakStall(2) {
+		if time.Now().After(deadline) {
+			t.Fatal("stall gate never appeared")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	err := <-done
+	if !errors.Is(err, mpsim.ErrCrashed) {
+		t.Fatalf("broken stall must crash: %v", err)
+	}
+	var ce *CrashError
+	if !errors.As(err, &ce) || !ce.Stalled {
+		t.Fatalf("stall detail wrong: %+v", ce)
+	}
+	if st := in.Stats(); st.Stalls != 1 || st.BrokenStalls != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if in.BreakStall(2) {
+		t.Fatal("broke an already-broken stall")
+	}
+}

@@ -1,0 +1,204 @@
+package mpsim
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// ruleInjector is a deterministic rule-based Injector for testing the
+// reliability layer in isolation (the production injector lives in
+// internal/faults, which imports this package).
+type ruleInjector struct {
+	dropEvery  int64 // drop first transmission of every n-th data message
+	dupEvery   int64 // duplicate every n-th data message
+	delayEvery int64 // delay every n-th data message
+	delay      time.Duration
+	dropAll    bool
+	dropAcks   bool
+}
+
+func (r *ruleInjector) FateOf(src, dst int, seq int64, attempt int, ack bool) Fate {
+	var f Fate
+	if r.dropAll {
+		if !ack || r.dropAcks {
+			f.Drop = true
+		}
+		return f
+	}
+	if ack {
+		return f
+	}
+	if r.dropEvery > 0 && seq%r.dropEvery == 0 && attempt == 0 {
+		f.Drop = true
+		return f
+	}
+	if r.dupEvery > 0 && seq%r.dupEvery == 1 {
+		f.Dup = true
+	}
+	if r.delayEvery > 0 && seq%r.delayEvery == 2 {
+		f.Delay = r.delay
+	}
+	return f
+}
+
+func (r *ruleInjector) BreakStall(p int) bool { return false }
+
+// Under drops, duplicates and delays, every message must still arrive exactly
+// once and in per-sender FIFO order, with resend activity recorded.
+func TestReliableDeliveryUnderChaos(t *testing.T) {
+	const P = 4
+	const perSender = 120
+	c := NewComm(P)
+	c.EnableFaults(
+		&ruleInjector{dropEvery: 3, dupEvery: 4, delayEvery: 5, delay: 300 * time.Microsecond},
+		Reliability{RTO: 500 * time.Microsecond, Tick: 100 * time.Microsecond},
+	)
+	err := c.Run(func(p int) error {
+		if p == 0 {
+			next := make(map[int]int)
+			for i := 0; i < (P-1)*perSender; i++ {
+				m, err := c.Recv(0)
+				if err != nil {
+					return err
+				}
+				if m.Tag != next[m.Src] {
+					return fmt.Errorf("from %d: got tag %d, want %d", m.Src, m.Tag, next[m.Src])
+				}
+				next[m.Src]++
+			}
+			if _, ok := c.TryRecv(0); ok {
+				return fmt.Errorf("extra message delivered")
+			}
+			return nil
+		}
+		for i := 0; i < perSender; i++ {
+			c.Send(Message{Src: p, Dst: 0, Tag: i, Data: []float64{float64(i)}})
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := c.FaultStats()
+	if fs.Resends == 0 {
+		t.Fatal("expected resend activity under injected drops")
+	}
+	msgs, _, _ := c.Stats()
+	if msgs != int64((P-1)*perSender) {
+		t.Fatalf("app-level message count %d, want %d (retransmissions must not be counted)", msgs, (P-1)*perSender)
+	}
+}
+
+func TestRetryBudgetExhausted(t *testing.T) {
+	c := NewComm(2)
+	c.EnableFaults(
+		&ruleInjector{dropAll: true, dropAcks: true},
+		Reliability{RTO: 100 * time.Microsecond, MaxRTO: 200 * time.Microsecond, RetryLimit: 3, Tick: 50 * time.Microsecond},
+	)
+	err := c.Run(func(p int) error {
+		if p == 0 {
+			c.Send(Message{Src: 0, Dst: 1, Tag: 1, Data: []float64{1}})
+			return nil
+		}
+		_, err := c.Recv(1)
+		return err
+	})
+	if !errors.Is(err, ErrFaultBudget) {
+		t.Fatalf("want ErrFaultBudget, got %v", err)
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Op != "resend" || be.Proc != 0 || be.Dst != 1 {
+		t.Fatalf("budget detail wrong: %+v", be)
+	}
+}
+
+func TestWorkerRestartAfterCrash(t *testing.T) {
+	c := NewComm(2)
+	c.EnableFaults(&ruleInjector{}, Reliability{})
+	var attempts atomic.Int64
+	err := c.Run(func(p int) error {
+		if p == 0 {
+			m, err := c.Recv(0)
+			if err != nil {
+				return err
+			}
+			if m.Tag != 9 {
+				return fmt.Errorf("bad tag %d", m.Tag)
+			}
+			return nil
+		}
+		if attempts.Add(1) == 1 {
+			return fmt.Errorf("injected: %w", ErrCrashed)
+		}
+		c.Send(Message{Src: 1, Dst: 0, Tag: 9})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Fatalf("worker ran %d times, want 2", got)
+	}
+	if fs := c.FaultStats(); fs.Restarts != 1 {
+		t.Fatalf("restarts = %d, want 1", fs.Restarts)
+	}
+}
+
+func TestRestartBudgetExhausted(t *testing.T) {
+	c := NewComm(2)
+	c.EnableFaults(&ruleInjector{}, Reliability{RestartBudget: 2})
+	err := c.Run(func(p int) error {
+		if p == 1 {
+			return ErrCrashed // crashes forever
+		}
+		_, err := c.Recv(0)
+		return err
+	})
+	if !errors.Is(err, ErrFaultBudget) {
+		t.Fatalf("want ErrFaultBudget, got %v", err)
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Op != "restart" || be.Proc != 1 || be.Attempts != 2 {
+		t.Fatalf("budget detail wrong: %+v", be)
+	}
+}
+
+// A worker's own failure must win over the secondary budget/closed errors.
+func TestRealErrorBeatsBudgetError(t *testing.T) {
+	c := NewComm(2)
+	c.EnableFaults(&ruleInjector{}, Reliability{RestartBudget: 1})
+	rootCause := errors.New("numerical breakdown")
+	err := c.Run(func(p int) error {
+		if p == 1 {
+			return rootCause
+		}
+		return ErrCrashed
+	})
+	if !errors.Is(err, rootCause) {
+		t.Fatalf("root cause lost: %v", err)
+	}
+}
+
+// The peak in-flight stat must track exactly under a deterministic
+// single-threaded send/recv sequence (the CAS loop fix; the concurrent case
+// is covered by the chaos tests under -race).
+func TestMaxInFlightPeak(t *testing.T) {
+	c := NewComm(2)
+	for i := 0; i < 10; i++ {
+		c.Send(Message{Src: 0, Dst: 1, Tag: i})
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := c.TryRecv(1); !ok {
+			t.Fatal("missing message")
+		}
+	}
+	for i := 0; i < 5; i++ {
+		c.Send(Message{Src: 0, Dst: 1, Tag: 10 + i})
+	}
+	if _, _, peak := c.Stats(); peak != 12 {
+		t.Fatalf("peak in-flight %d, want 12", peak)
+	}
+}

@@ -179,9 +179,14 @@ func (an *Analysis) FactorizeOpts(popts ParOptions) (*Factors, error) {
 // returns) and is checked up front on the sequential path.
 func (an *Analysis) FactorizeOptsCtx(ctx context.Context, popts ParOptions) (*Factors, error) {
 	if popts.SharedMemory {
+		if popts.Faults.Active() {
+			return nil, fmt.Errorf("solver: fault injection requires the message-passing runtime, not SharedMemory")
+		}
 		return FactorizeSharedCtx(ctx, an.A, an.Sched, popts.Trace)
 	}
-	if an.Sched.P == 1 && popts.Trace == nil {
+	// Fault injection forces the message-passing runtime even at P == 1 so
+	// crash/stall schedules have a worker to act on.
+	if an.Sched.P == 1 && popts.Trace == nil && !popts.Faults.Active() {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"github.com/pastix-go/pastix/internal/blas"
+	"github.com/pastix-go/pastix/internal/mpsim"
 )
 
 // Sentinel errors of the numerical phases. They are re-exported by the
@@ -20,6 +21,39 @@ var (
 	// matrix order, panel shape, pattern mismatch).
 	ErrShape = errors.New("solver: dimension mismatch")
 )
+
+// ErrFaultBudget reports that a fault-injected run degraded past recovery:
+// the reliability layer exhausted a message's resend budget or a worker's
+// restart budget. Match with errors.Is; the concrete error is a
+// *FaultBudgetError carrying per-processor progress.
+var ErrFaultBudget = mpsim.ErrFaultBudget
+
+// TaskProgress is one processor's position in its task vector K_p when a
+// fault-injected run gave up.
+type TaskProgress struct {
+	Done  int // tasks completed (and logged) before the run aborted
+	Total int // tasks in the processor's vector
+}
+
+// FaultBudgetError wraps the runtime's budget exhaustion (an
+// mpsim.ErrFaultBudget, reachable via errors.Is/As through Err) with the
+// per-processor progress at the time of the abort — the graceful-degradation
+// observable: how far each K_p got before recovery was abandoned.
+type FaultBudgetError struct {
+	Progress []TaskProgress // indexed by processor
+	Err      error
+}
+
+func (e *FaultBudgetError) Error() string {
+	done, total := 0, 0
+	for _, p := range e.Progress {
+		done += p.Done
+		total += p.Total
+	}
+	return fmt.Sprintf("solver: aborted after %d/%d tasks: %v", done, total, e.Err)
+}
+
+func (e *FaultBudgetError) Unwrap() error { return e.Err }
 
 // ZeroPivotError is the concrete error behind ErrNotSPD: the factorization
 // of column block Cell broke down at global column Column (in the permuted

@@ -1,8 +1,12 @@
 package solver
 
 import (
+	"context"
+	"errors"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/pastix-go/pastix/internal/gen"
 	"github.com/pastix-go/pastix/internal/sparse"
@@ -64,6 +68,35 @@ func TestZeroPivotErrorMultifrontalStyle(t *testing.T) {
 	an := analyzeFor(t, a, 4)
 	if _, err := FactorizeParOpts(an.A, an.Sched, ParOptions{MaxAUBBytes: 64}); err == nil {
 		t.Fatal("expected error in fan-both mode")
+	}
+}
+
+// The shared-memory runtime must also fail cleanly on a zero pivot: no
+// deadlock, no goroutine leak, and the typed root cause preserved through
+// the dependency-graph scheduler's shutdown.
+func TestZeroPivotErrorSharedMemory(t *testing.T) {
+	a := singularMatrix(10, 10, 33)
+	an := analyzeFor(t, a, 4)
+	before := runtime.NumGoroutine()
+	_, err := FactorizeSharedCtx(context.Background(), an.A, an.Sched, nil)
+	if err == nil {
+		t.Fatal("expected zero-pivot error")
+	}
+	if !errors.Is(err, ErrNotSPD) {
+		t.Fatalf("root cause lost: %v", err)
+	}
+	var zpe *ZeroPivotError
+	if !errors.As(err, &zpe) {
+		t.Fatalf("no ZeroPivotError in chain: %v", err)
+	}
+	// All worker goroutines must have unwound; allow a grace period for the
+	// scheduler's teardown to complete.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 

@@ -2,11 +2,13 @@ package solver
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
 
 	"github.com/pastix-go/pastix/internal/blas"
+	"github.com/pastix-go/pastix/internal/faults"
 	"github.com/pastix-go/pastix/internal/mpsim"
 	"github.com/pastix-go/pastix/internal/sched"
 	"github.com/pastix-go/pastix/internal/sparse"
@@ -40,6 +42,12 @@ type ParOptions struct {
 	// default) disables tracing; every record site is behind a nil check so
 	// the disabled path costs one pointer comparison per task.
 	Trace *trace.Recorder
+	// Faults injects deterministic message and worker faults (internal/faults)
+	// and arms the mpsim reliability layer that recovers from them. Nil or an
+	// inactive plan leaves the fault-free fast path untouched. Incompatible
+	// with SharedMemory (there are no messages to corrupt and no isolated
+	// workers to crash there).
+	Faults *faults.Plan
 }
 
 // CommStats reports the communication volume of an executed parallel
@@ -57,6 +65,14 @@ type CommStats struct {
 	// buffers at once. Lowering ParOptions.MaxAUBBytes can only lower it
 	// (the fan-both trade: more messages for less memory).
 	PeakAUBBytes int64
+	// Resends, Deduped and Restarts report the reliability layer's recovery
+	// activity under fault injection: retransmissions of unacknowledged
+	// messages, duplicate deliveries suppressed at admission, and crashed or
+	// stalled workers restarted from their completion logs. All zero on the
+	// fault-free path.
+	Resends  int64
+	Deduped  int64
+	Restarts int64
 }
 
 // FactorizePar runs the supernodal fan-in LDLᵀ factorization on sch.P
@@ -155,6 +171,9 @@ func FactorizeParStatsCtx(ctx context.Context, a *sparse.SymMatrix, sch *sched.S
 		return nil, CommStats{}, err
 	}
 	if popts.SharedMemory {
+		if popts.Faults.Active() {
+			return nil, CommStats{}, fmt.Errorf("solver: fault injection requires the message-passing runtime, not SharedMemory")
+		}
 		f, err := FactorizeSharedCtx(ctx, a, sch, popts.Trace)
 		return f, CommStats{}, err
 	}
@@ -164,10 +183,23 @@ func FactorizeParStatsCtx(ctx context.Context, a *sparse.SymMatrix, sch *sched.S
 	nAUBmsgs, sendTo, needF, needDiag := pr.nAUBmsgs, pr.sendTo, pr.needF, pr.needDiag
 
 	stores := make([]*Factors, P)
+	states := make([]*procState, P)
 	peaks := make([]int64, P)
 	comm := mpsim.NewComm(P)
 	if popts.Trace != nil {
 		comm.SetTrace(popts.Trace)
+	}
+	var inj *faults.Injector
+	if popts.Faults.Active() {
+		var err error
+		inj, err = faults.New(*popts.Faults)
+		if err != nil {
+			return nil, CommStats{}, err
+		}
+		if popts.Trace != nil {
+			inj.SetTrace(popts.Trace)
+		}
+		comm.EnableFaults(inj, popts.Faults.Reliability)
 	}
 	if done := ctx.Done(); done != nil {
 		// The watcher closes the communicator on cancellation so processors
@@ -184,30 +216,40 @@ func FactorizeParStatsCtx(ctx context.Context, a *sparse.SymMatrix, sch *sched.S
 	}
 	predicted := pr.predicted
 	runErr := comm.Run(func(p int) error {
-		st := &procState{
-			p:        p,
-			opts:     popts,
-			sch:      sch,
-			f:        NewFactorsLazy(sym),
-			comm:     comm,
-			ctx:      ctx,
-			done:     ctx.Done(),
-			rec:      popts.Trace,
-			aubBuf:   make(map[int]map[int][]float64),
-			aubRem:   make(map[int]int),
-			aubGot:   make(map[int]int),
-			fstore:   make(map[int][]float64),
-			diags:    make(map[int][]float64),
-			invd:     make(map[int][]float64),
-			nAUBmsgs: nAUBmsgs,
-			sendTo:   sendTo,
-			needF:    needF,
-			needDiag: needDiag,
-		}
-		stores[p] = st.f
-		for k, c := range pr.contributors {
-			if k.sp == p {
-				st.aubRem[k.dt] = c
+		// After an injected crash Run re-invokes this closure for the same p;
+		// the surviving procState is the worker's completion log and replay
+		// state, so a restarted worker resumes where it crashed instead of
+		// re-executing (and re-sending) finished work.
+		st := states[p]
+		if st == nil {
+			st = &procState{
+				p:        p,
+				opts:     popts,
+				sch:      sch,
+				f:        NewFactorsLazy(sym),
+				comm:     comm,
+				ctx:      ctx,
+				done:     ctx.Done(),
+				rec:      popts.Trace,
+				inj:      inj,
+				aubBuf:   make(map[int]map[int][]float64),
+				aubIn:    make(map[int][]aubContrib),
+				aubRem:   make(map[int]int),
+				aubGot:   make(map[int]int),
+				fstore:   make(map[int][]float64),
+				diags:    make(map[int][]float64),
+				invd:     make(map[int][]float64),
+				nAUBmsgs: nAUBmsgs,
+				sendTo:   sendTo,
+				needF:    needF,
+				needDiag: needDiag,
+			}
+			states[p] = st
+			stores[p] = st.f
+			for k, c := range pr.contributors {
+				if k.sp == p {
+					st.aubRem[k.dt] = c
+				}
 			}
 		}
 		err := st.run(a)
@@ -215,7 +257,11 @@ func FactorizeParStatsCtx(ctx context.Context, a *sparse.SymMatrix, sch *sched.S
 		return err
 	})
 	msgs, bytes, inflight := comm.Stats()
-	stats := CommStats{Messages: msgs, Bytes: bytes, MaxInFlight: inflight, PredictedMessages: predicted}
+	fs := comm.FaultStats()
+	stats := CommStats{
+		Messages: msgs, Bytes: bytes, MaxInFlight: inflight, PredictedMessages: predicted,
+		Resends: fs.Resends, Deduped: fs.Deduped, Restarts: fs.Restarts,
+	}
 	for p := 0; p < P; p++ {
 		if peaks[p] > stats.PeakAUBBytes {
 			stats.PeakAUBBytes = peaks[p]
@@ -224,6 +270,16 @@ func FactorizeParStatsCtx(ctx context.Context, a *sparse.SymMatrix, sch *sched.S
 	if runErr != nil {
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, stats, cerr
+		}
+		if errors.Is(runErr, mpsim.ErrFaultBudget) {
+			prog := make([]TaskProgress, P)
+			for p := 0; p < P; p++ {
+				prog[p] = TaskProgress{Total: len(sch.ByProc[p])}
+				if states[p] != nil {
+					prog[p].Done = states[p].next
+				}
+			}
+			return nil, stats, &FaultBudgetError{Progress: prog, Err: runErr}
 		}
 		return nil, stats, runErr
 	}
@@ -261,8 +317,16 @@ type procState struct {
 	f    *Factors
 	comm *mpsim.Comm
 	ctx  context.Context
-	done <-chan struct{} // ctx.Done(); nil when uncancellable
-	rec  *trace.Recorder // nil disables tracing
+	done <-chan struct{}  // ctx.Done(); nil when uncancellable
+	rec  *trace.Recorder  // nil disables tracing
+	inj  *faults.Injector // nil disables fault injection
+
+	// Completion log for crash recovery: assembly ran, and the index into
+	// ByProc[p] of the next task to execute. A restarted worker replays from
+	// here; everything before is already done and its sends already sit in
+	// the communicator (which survives the restart).
+	assembled bool
+	next      int
 
 	aubBytes int64 // bytes currently held in aggregation buffers
 	peakAUB  int64 // high-water mark of aubBytes (after any spill)
@@ -271,8 +335,16 @@ type procState struct {
 	// keyed inside by target region (0 = the diagonal block of the target
 	// cell, b+1 = its off-diagonal block b) — the paper's per-block AUB_jk.
 	aubBuf map[int]map[int][]float64
+	// aubIn buffers received remote AUB payloads per destination task instead
+	// of applying them on arrival: once every expected message is in, they are
+	// applied in canonical order (sorted by source processor, arrival order
+	// within one source). Floating-point addition is order-sensitive, so this
+	// makes the factor bit-for-bit reproducible — in particular a chaos run
+	// with delays, duplicates and restarts produces exactly the fault-free
+	// factor.
+	aubIn  map[int][]aubContrib
 	aubRem map[int]int       // dst task -> local contributions still to add
-	aubGot map[int]int       // dst task -> AUB messages received
+	aubGot map[int]int       // dst task -> final AUB messages received
 	fstore map[int][]float64 // BDIV task -> received W panel
 	diags  map[int][]float64 // cell -> received (L,D) diagonal block (ld = w)
 	invd   map[int][]float64 // cell -> 1/D cache
@@ -299,34 +371,48 @@ func (st *procState) cancelled() error {
 
 func (st *procState) run(a *sparse.SymMatrix) error {
 	sym := st.sch.Sym()
-	var asmStart time.Duration
-	if st.rec != nil {
-		asmStart = st.rec.Now()
-	}
-	// Assemble the regions this processor owns.
-	for _, id := range st.sch.ByProc[st.p] {
-		t := &st.sch.Tasks[id]
-		var err error
-		switch t.Type {
-		case sched.Comp1D:
-			err = st.f.AssembleCell(a, t.Cell)
-		case sched.Factor:
-			err = st.f.AssembleDiagRegion(a, t.Cell)
-		case sched.BDiv:
-			err = st.f.AssembleBlockRegion(a, t.Cell, t.S)
+	if !st.assembled {
+		var asmStart time.Duration
+		if st.rec != nil {
+			asmStart = st.rec.Now()
 		}
-		if err != nil {
-			return err
+		// Assemble the regions this processor owns.
+		for _, id := range st.sch.ByProc[st.p] {
+			t := &st.sch.Tasks[id]
+			var err error
+			switch t.Type {
+			case sched.Comp1D:
+				err = st.f.AssembleCell(a, t.Cell)
+			case sched.Factor:
+				err = st.f.AssembleDiagRegion(a, t.Cell)
+			case sched.BDiv:
+				err = st.f.AssembleBlockRegion(a, t.Cell, t.S)
+			}
+			if err != nil {
+				return err
+			}
 		}
-	}
-	if st.rec != nil {
-		st.rec.Phase(st.p, trace.PhaseAssemble, asmStart, st.rec.Now())
+		if st.rec != nil {
+			st.rec.Phase(st.p, trace.PhaseAssemble, asmStart, st.rec.Now())
+		}
+		st.assembled = true
 	}
 
-	for _, id := range st.sch.ByProc[st.p] {
+	tasks := st.sch.ByProc[st.p]
+	for ; st.next < len(tasks); st.next++ {
+		id := tasks[st.next]
 		t := &st.sch.Tasks[id]
 		if err := st.cancelled(); err != nil {
 			return err
+		}
+		// Task boundary: stamp the heartbeat (so the supervisor can tell a
+		// stall from progress) and let the injector fire any scheduled crash
+		// or stall for this step before the task executes.
+		if st.inj != nil {
+			st.comm.Heartbeat(st.p)
+			if err := st.inj.Boundary(st.p, st.next); err != nil {
+				return err
+			}
 		}
 		if err := st.waitInputs(id); err != nil {
 			return err
@@ -413,6 +499,33 @@ func (st *procState) waitInputs(id int) error {
 			return err
 		}
 	}
+	return st.applyPending(id)
+}
+
+// aubContrib is one buffered remote AUB payload awaiting canonical-order
+// application.
+type aubContrib struct {
+	src  int
+	data []float64
+}
+
+// applyPending applies the buffered remote contributions of task id in
+// canonical order: sorted by source processor, arrival order within one
+// source (the stable sort keeps a fan-both partial before the final message
+// from the same sender). Called once per task, after all expected final
+// messages have arrived.
+func (st *procState) applyPending(id int) error {
+	contribs := st.aubIn[id]
+	if len(contribs) == 0 {
+		return nil
+	}
+	delete(st.aubIn, id)
+	sort.SliceStable(contribs, func(i, j int) bool { return contribs[i].src < contribs[j].src })
+	for _, c := range contribs {
+		if err := st.applyAUB(id, c.data); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -423,16 +536,12 @@ func (st *procState) handle(m mpsim.Message) error {
 	case msgDiag:
 		st.diags[m.Tag] = m.Data
 	case msgAUB:
-		if err := st.applyAUB(m.Tag, m.Data); err != nil {
-			return err
-		}
+		st.aubIn[m.Tag] = append(st.aubIn[m.Tag], aubContrib{src: m.Src, data: m.Data})
 		st.aubGot[m.Tag]++
 	case msgAUBPartial:
-		// Early (fan-both) flush: apply but do not count; the final message
+		// Early (fan-both) flush: buffer but do not count; the final message
 		// for the same destination is still to come.
-		if err := st.applyAUB(m.Tag, m.Data); err != nil {
-			return err
-		}
+		st.aubIn[m.Tag] = append(st.aubIn[m.Tag], aubContrib{src: m.Src, data: m.Data})
 	default:
 		return fmt.Errorf("solver: proc %d: unknown message kind %d", st.p, m.Kind)
 	}

@@ -2,10 +2,13 @@ package solver
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"github.com/pastix-go/pastix/internal/blas"
+	"github.com/pastix-go/pastix/internal/faults"
 	"github.com/pastix-go/pastix/internal/mpsim"
 	"github.com/pastix-go/pastix/internal/sched"
 	"github.com/pastix-go/pastix/internal/trace"
@@ -140,6 +143,21 @@ func SolvePar(sch *sched.Schedule, f *Factors, b []float64) ([]float64, error) {
 // attached, each processor records its forward and backward sweeps as phase
 // events alongside the message sends/receives.
 func SolveParCtx(ctx context.Context, sch *sched.Schedule, f *Factors, b []float64, rec *trace.Recorder) ([]float64, error) {
+	return SolveParOpts(ctx, sch, f, b, SolveOptions{Trace: rec})
+}
+
+// SolveOptions tunes the parallel triangular solve runtime.
+type SolveOptions struct {
+	// Trace attaches an execution recorder (see ParOptions.Trace).
+	Trace *trace.Recorder
+	// Faults injects deterministic message and worker faults and arms the
+	// mpsim reliability layer (see ParOptions.Faults).
+	Faults *faults.Plan
+}
+
+// SolveParOpts is SolveParCtx with runtime options, including fault
+// injection.
+func SolveParOpts(ctx context.Context, sch *sched.Schedule, f *Factors, b []float64, sopts SolveOptions) ([]float64, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -149,10 +167,23 @@ func SolveParCtx(ctx context.Context, sch *sched.Schedule, f *Factors, b []float
 	}
 	pl := newSolvePlan(sch)
 	P := sch.P
+	rec := sopts.Trace
 	x := make([]float64, sym.N)
 	comm := mpsim.NewComm(P)
 	if rec != nil {
 		comm.SetTrace(rec)
+	}
+	var inj *faults.Injector
+	if sopts.Faults.Active() {
+		var err error
+		inj, err = faults.New(*sopts.Faults)
+		if err != nil {
+			return nil, err
+		}
+		if rec != nil {
+			inj.SetTrace(rec)
+		}
+		comm.EnableFaults(inj, sopts.Faults.Reliability)
 	}
 	if done := ctx.Done(); done != nil {
 		stop := make(chan struct{})
@@ -165,48 +196,42 @@ func SolveParCtx(ctx context.Context, sch *sched.Schedule, f *Factors, b []float
 			}
 		}()
 	}
+	workers := make([]*solveWorker, P)
 	err := comm.Run(func(p int) error {
-		w := &solveWorker{p: p, pl: pl, f: f, comm: comm,
-			y:      make(map[int][]float64),
-			xs:     make(map[int][]float64),
-			fwdAcc: make(map[int][]float64),
-			fwdRem: make(map[int]int),
-			bwdAcc: make(map[int][]float64),
-			bwdRem: make(map[int]int),
-			got:    make(map[int]int),
+		// As in the factorization, the worker state is the completion log: a
+		// restarted worker resumes its sweep at the cell it crashed before.
+		w := workers[p]
+		if w == nil {
+			w = &solveWorker{p: p, pl: pl, f: f, comm: comm, inj: inj,
+				y:      make(map[int][]float64),
+				xs:     make(map[int][]float64),
+				fwdAcc: make(map[int][]float64),
+				fwdRem: make(map[int]int),
+				fwdIn:  make(map[int][]aubContrib),
+				bwdAcc: make(map[int][]float64),
+				bwdRem: make(map[int]int),
+				bwdIn:  make(map[int][]aubContrib),
+				got:    make(map[int]int),
+				bwdK:   sym.NumCB() - 1,
+			}
+			workers[p] = w
 		}
-		for k, c := range pl.fwdLocal[p] {
-			w.fwdRem[k] = c
-		}
-		var fwdStart time.Duration
-		if rec != nil {
-			fwdStart = rec.Now()
-		}
-		if err := w.forward(b); err != nil {
-			return err
-		}
-		if rec != nil {
-			rec.Phase(p, trace.PhaseForward, fwdStart, rec.Now())
-		}
-		for k, c := range pl.bwdLocal[p] {
-			w.bwdRem[k] = c
-		}
-		w.got = make(map[int]int)
-		var bwdStart time.Duration
-		if rec != nil {
-			bwdStart = rec.Now()
-		}
-		if err := w.backward(x); err != nil {
-			return err
-		}
-		if rec != nil {
-			rec.Phase(p, trace.PhaseBackward, bwdStart, rec.Now())
-		}
-		return nil
+		return w.run(b, x, rec)
 	})
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, cerr
+		}
+		if errors.Is(err, ErrFaultBudget) {
+			ncb := sym.NumCB()
+			prog := make([]TaskProgress, P)
+			for p := 0; p < P; p++ {
+				prog[p] = TaskProgress{Total: 2 * ncb}
+				if w := workers[p]; w != nil {
+					prog[p].Done = w.fwdK + (ncb - 1 - w.bwdK)
+				}
+			}
+			return nil, &FaultBudgetError{Progress: prog, Err: err}
 		}
 		return nil, err
 	}
@@ -218,17 +243,97 @@ type solveWorker struct {
 	pl   *solvePlan
 	f    *Factors
 	comm *mpsim.Comm
+	inj  *faults.Injector // nil disables fault injection
 
 	y      map[int][]float64 // forward segments by cell
 	xs     map[int][]float64 // backward segments by cell
-	fwdAcc map[int][]float64 // aggregated forward contributions by target cell
+	fwdAcc map[int][]float64 // locally aggregated forward contributions by target cell
 	fwdRem map[int]int
 	bwdAcc map[int][]float64
 	bwdRem map[int]int
 	got    map[int]int // received aggregated messages per cell
+	// fwdIn/bwdIn buffer received remote contribution messages per target
+	// cell; they are applied in canonical (source-sorted) order once the cell
+	// is processed, for bit-reproducibility (see procState.aubIn).
+	fwdIn map[int][]aubContrib
+	bwdIn map[int][]aubContrib
 	// pending buffers backward-phase messages that arrive while this
 	// processor is still in its forward sweep (peers may run ahead).
 	pending []mpsim.Message
+
+	// Completion log for crash recovery: phase initialisation flags and the
+	// sweep positions (next forward cell ascending, next backward cell
+	// descending). Boundary steps are numbered fwdK in the forward sweep and
+	// 2·ncb−1−bwdK in the backward sweep, stable across restarts.
+	fwdInit bool
+	fwdDone bool
+	bwdInit bool
+	fwdK    int
+	bwdK    int
+}
+
+// boundary is the per-cell task boundary: heartbeat plus any scheduled crash
+// or stall.
+func (w *solveWorker) boundary(step int) error {
+	if w.inj == nil {
+		return nil
+	}
+	w.comm.Heartbeat(w.p)
+	return w.inj.Boundary(w.p, step)
+}
+
+// run executes (or resumes) both sweeps.
+func (w *solveWorker) run(b, x []float64, rec *trace.Recorder) error {
+	if !w.fwdInit {
+		for k, c := range w.pl.fwdLocal[w.p] {
+			w.fwdRem[k] = c
+		}
+		w.fwdInit = true
+	}
+	if !w.fwdDone {
+		var fwdStart time.Duration
+		if rec != nil {
+			fwdStart = rec.Now()
+		}
+		if err := w.forward(b); err != nil {
+			return err
+		}
+		if rec != nil {
+			rec.Phase(w.p, trace.PhaseForward, fwdStart, rec.Now())
+		}
+		w.fwdDone = true
+	}
+	if !w.bwdInit {
+		for k, c := range w.pl.bwdLocal[w.p] {
+			w.bwdRem[k] = c
+		}
+		w.got = make(map[int]int)
+		w.bwdInit = true
+	}
+	var bwdStart time.Duration
+	if rec != nil {
+		bwdStart = rec.Now()
+	}
+	if err := w.backward(x); err != nil {
+		return err
+	}
+	if rec != nil {
+		rec.Phase(w.p, trace.PhaseBackward, bwdStart, rec.Now())
+	}
+	return nil
+}
+
+// applyIn drains buf[k] in canonical source order into apply.
+func applyIn(buf map[int][]aubContrib, k int, apply func([]float64)) {
+	contribs := buf[k]
+	if len(contribs) == 0 {
+		return
+	}
+	delete(buf, k)
+	sort.SliceStable(contribs, func(i, j int) bool { return contribs[i].src < contribs[j].src })
+	for _, c := range contribs {
+		apply(c.data)
+	}
 }
 
 func (w *solveWorker) handleFwd(m mpsim.Message) error {
@@ -239,14 +344,7 @@ func (w *solveWorker) handleFwd(m mpsim.Message) error {
 	case msgYSeg:
 		w.y[m.Tag] = m.Data
 	case msgFwdC:
-		acc := w.fwdAcc[m.Tag]
-		if acc == nil {
-			acc = make([]float64, len(m.Data))
-			w.fwdAcc[m.Tag] = acc
-		}
-		for i, v := range m.Data {
-			acc[i] += v
-		}
+		w.fwdIn[m.Tag] = append(w.fwdIn[m.Tag], aubContrib{src: m.Src, data: m.Data})
 		w.got[m.Tag]++
 	default:
 		return fmt.Errorf("solver: unexpected message kind %d in forward solve", m.Kind)
@@ -257,7 +355,11 @@ func (w *solveWorker) handleFwd(m mpsim.Message) error {
 func (w *solveWorker) forward(b []float64) error {
 	pl := w.pl
 	sym := pl.sch.Sym()
-	for k := 0; k < sym.NumCB(); k++ {
+	for ; w.fwdK < sym.NumCB(); w.fwdK++ {
+		k := w.fwdK
+		if err := w.boundary(k); err != nil {
+			return err
+		}
 		cb := &sym.CB[k]
 		wdt := cb.Width()
 		ld := w.f.LD[k]
@@ -279,6 +381,11 @@ func (w *solveWorker) forward(b []float64) error {
 				}
 				delete(w.fwdAcc, k)
 			}
+			applyIn(w.fwdIn, k, func(data []float64) {
+				for i := range yk {
+					yk[i] -= data[i]
+				}
+			})
 			blas.TrsvLowerUnit(wdt, w.f.Data[k], ld, yk)
 			w.y[k] = yk
 			for _, q := range pl.ySendTo[k] {
@@ -332,14 +439,7 @@ func (w *solveWorker) handleBwd(m mpsim.Message) error {
 	case msgXSeg:
 		w.xs[m.Tag] = m.Data
 	case msgBwdC:
-		acc := w.bwdAcc[m.Tag]
-		if acc == nil {
-			acc = make([]float64, len(m.Data))
-			w.bwdAcc[m.Tag] = acc
-		}
-		for i, v := range m.Data {
-			acc[i] += v
-		}
+		w.bwdIn[m.Tag] = append(w.bwdIn[m.Tag], aubContrib{src: m.Src, data: m.Data})
 		w.got[m.Tag]++
 	default:
 		return fmt.Errorf("solver: unexpected message kind %d in backward solve", m.Kind)
@@ -356,7 +456,12 @@ func (w *solveWorker) backward(x []float64) error {
 	w.pending = nil
 	pl := w.pl
 	sym := pl.sch.Sym()
-	for k := sym.NumCB() - 1; k >= 0; k-- {
+	ncb := sym.NumCB()
+	for ; w.bwdK >= 0; w.bwdK-- {
+		k := w.bwdK
+		if err := w.boundary(2*ncb - 1 - k); err != nil {
+			return err
+		}
 		cb := &sym.CB[k]
 		wdt := cb.Width()
 		ld := w.f.LD[k]
@@ -416,6 +521,11 @@ func (w *solveWorker) backward(x []float64) error {
 			}
 			delete(w.bwdAcc, k)
 		}
+		applyIn(w.bwdIn, k, func(data []float64) {
+			for i := range xk {
+				xk[i] += data[i]
+			}
+		})
 		blas.TrsvLowerTransUnit(wdt, w.f.Data[k], ld, xk)
 		w.xs[k] = xk
 		copy(x[cb.Cols[0]:cb.Cols[1]], xk)

@@ -54,6 +54,11 @@ func (e *Event) name() string {
 		return "recv " + msgName(e.Aux)
 	case KindSpill:
 		return "AUB spill"
+	case KindFault:
+		if int(e.Aux) < len(faultNames) {
+			return "fault:" + faultNames[e.Aux]
+		}
+		return fmt.Sprintf("fault %d", e.Aux)
 	case KindPhase:
 		if int(e.Aux) < len(phaseNames) {
 			return phaseNames[e.Aux]
@@ -71,6 +76,8 @@ func (e *Event) category() string {
 		return "comm"
 	case KindSpill:
 		return "memory"
+	case KindFault:
+		return "fault"
 	case KindPhase:
 		return "phase"
 	}

@@ -19,6 +19,7 @@ package trace
 
 import (
 	"sort"
+	"sync"
 	"time"
 
 	"github.com/pastix-go/pastix/internal/sched"
@@ -41,7 +42,38 @@ const (
 	// KindPhase is a named runtime phase interval (assembly, panel scaling,
 	// forward/backward solve sweep).
 	KindPhase
+	// KindFault is a fault-injection or reliability-layer event (instant):
+	// an injected drop/duplicate/delay, a worker crash or stall, a resend by
+	// the retry machinery, or a supervisor restart. Aux holds the Fault* id.
+	KindFault
 )
+
+// Fault identifiers for KindFault events (stored in the Aux field).
+const (
+	// FaultDrop: a wire transmission was lost by the injector.
+	FaultDrop int8 = iota
+	// FaultDup: an extra copy of a message was delivered.
+	FaultDup
+	// FaultDelay: a delivery was held back.
+	FaultDelay
+	// FaultResend: the reliability layer retransmitted an unacknowledged
+	// message (Task = sequence number, Bytes = payload).
+	FaultResend
+	// FaultCrash: a worker crashed at a task boundary (Task = step).
+	FaultCrash
+	// FaultStall: a worker entered an injected stall window (Task = step,
+	// Bytes = planned stall nanoseconds).
+	FaultStall
+	// FaultStallBroken: the heartbeat supervisor declared a stalled worker
+	// dead and broke its stall.
+	FaultStallBroken
+	// FaultRestart: the supervisor restarted a crashed/stalled worker, which
+	// replays its task vector from its completion log (Task = restart count).
+	FaultRestart
+)
+
+// faultNames maps Fault* ids to display names.
+var faultNames = [...]string{"drop", "dup", "delay", "resend", "crash", "stall", "stall-broken", "restart"}
 
 // Phase identifiers for KindPhase events (stored in the Aux field).
 const (
@@ -83,6 +115,13 @@ type procBuf struct {
 type Recorder struct {
 	epoch time.Time
 	procs []*procBuf
+
+	// aux collects events recorded from goroutines that are not a virtual
+	// processor (the fault supervisor, resend timers, delayed-delivery
+	// timers). It is mutex-protected — fault events are rare, so the lock is
+	// never on a hot path.
+	auxMu sync.Mutex
+	aux   []Event
 }
 
 // New returns a Recorder for p processors with per-processor buffers grown
@@ -146,6 +185,33 @@ func (r *Recorder) Phase(p int, phase int8, start, end time.Duration) {
 	})
 }
 
+// Fault records a fault-injection or reliability event attributed to
+// processor p. Unlike the other record methods it may be called from any
+// goroutine (supervisor, resend and delivery timers), so it goes through the
+// locked auxiliary buffer rather than p's single-writer buffer.
+func (r *Recorder) Fault(p int, fault int8, tag int, bytes int64) {
+	at := r.Now()
+	r.auxMu.Lock()
+	r.aux = append(r.aux, Event{
+		Proc: int32(p), Kind: KindFault, Aux: fault, Task: int32(tag),
+		Cell: -1, S: -1, T: -1, Start: at, End: at, Bytes: bytes,
+	})
+	r.auxMu.Unlock()
+}
+
+// FaultCounts tallies the recorded KindFault events by Fault* id.
+func (r *Recorder) FaultCounts() map[int8]int64 {
+	out := make(map[int8]int64)
+	r.auxMu.Lock()
+	for i := range r.aux {
+		if r.aux[i].Kind == KindFault {
+			out[r.aux[i].Aux]++
+		}
+	}
+	r.auxMu.Unlock()
+	return out
+}
+
 // Events returns every recorded event merged across processors, ordered by
 // start time (ties by processor). Call only after the traced run finished.
 func (r *Recorder) Events() []Event {
@@ -153,7 +219,10 @@ func (r *Recorder) Events() []Event {
 	for _, b := range r.procs {
 		n += len(b.ev)
 	}
-	out := make([]Event, 0, n)
+	r.auxMu.Lock()
+	out := make([]Event, 0, n+len(r.aux))
+	out = append(out, r.aux...)
+	r.auxMu.Unlock()
 	for _, b := range r.procs {
 		out = append(out, b.ev...)
 	}

@@ -124,6 +124,11 @@ type Options struct {
 	// message-passing runtime remains the paper-faithful baseline. The
 	// factor produced is identical to rounding either way.
 	SharedMemory bool
+	// Faults injects deterministic message and worker faults into the
+	// message-passing runtime and arms its reliability layer (see FaultPlan).
+	// Nil or an inactive plan leaves the fault-free fast path untouched. An
+	// active plan is incompatible with SharedMemory.
+	Faults *FaultPlan
 }
 
 // Validate checks the options for consistency. The zero value is always
@@ -149,6 +154,14 @@ func (o Options) Validate() error {
 	default:
 		return fmt.Errorf("%w: unknown ordering method %d", ErrBadOptions, o.Ordering)
 	}
+	if o.Faults != nil {
+		if err := o.Faults.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadOptions, err)
+		}
+		if o.SharedMemory && o.Faults.Active() {
+			return fmt.Errorf("%w: fault injection requires the message-passing runtime, not SharedMemory", ErrBadOptions)
+		}
+	}
 	return nil
 }
 
@@ -156,7 +169,8 @@ func (o Options) Validate() error {
 // are safe for concurrent use once constructed.
 type Analysis struct {
 	inner  *solver.Analysis
-	shared bool // numerical phases use the shared-memory runtime
+	shared bool       // numerical phases use the shared-memory runtime
+	faults *FaultPlan // fault injection for the numerical phases (nil = off)
 }
 
 // Factor holds the numerical factorization L·D·Lᵀ.
@@ -215,7 +229,11 @@ func AnalyzeContext(ctx context.Context, a *Matrix, opts Options) (*Analysis, er
 	if err != nil {
 		return nil, err
 	}
-	return &Analysis{inner: inner, shared: opts.SharedMemory}, nil
+	an := &Analysis{inner: inner, shared: opts.SharedMemory}
+	if opts.Faults.Active() {
+		an.faults = opts.Faults
+	}
+	return an, nil
 }
 
 // SchurComplement eliminates every unknown outside schurVars and returns the
@@ -252,7 +270,7 @@ func (an *Analysis) Factorize() (*Factor, error) {
 // returns — and ctx.Err() (context.Canceled or context.DeadlineExceeded)
 // is reported.
 func (an *Analysis) FactorizeContext(ctx context.Context) (*Factor, error) {
-	f, err := an.inner.FactorizeOptsCtx(ctx, solver.ParOptions{SharedMemory: an.shared})
+	f, err := an.inner.FactorizeOptsCtx(ctx, solver.ParOptions{SharedMemory: an.shared, Faults: an.faults})
 	if err != nil {
 		return nil, err
 	}
@@ -296,11 +314,13 @@ func (an *Analysis) solveParallel(ctx context.Context, f *Factor, b []float64, r
 	for newI, old := range an.inner.Perm {
 		pb[newI] = b[old]
 	}
-	solve := solver.SolveParCtx
+	var px []float64
+	var err error
 	if an.shared {
-		solve = solver.SolveSharedCtx
+		px, err = solver.SolveSharedCtx(ctx, an.inner.Sched, f.inner, pb, rec)
+	} else {
+		px, err = solver.SolveParOpts(ctx, an.inner.Sched, f.inner, pb, solver.SolveOptions{Trace: rec, Faults: an.faults})
 	}
-	px, err := solve(ctx, an.inner.Sched, f.inner, pb, rec)
 	if err != nil {
 		return nil, err
 	}

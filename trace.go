@@ -41,7 +41,7 @@ func (an *Analysis) FactorizeTraced(ctx context.Context, topts TraceOptions) (*F
 		cap = 4*len(sch.Tasks)/sch.P + 64
 	}
 	rec := trace.New(sch.P, cap)
-	f, err := an.inner.FactorizeOptsCtx(ctx, solver.ParOptions{SharedMemory: an.shared, Trace: rec})
+	f, err := an.inner.FactorizeOptsCtx(ctx, solver.ParOptions{SharedMemory: an.shared, Trace: rec, Faults: an.faults})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -111,6 +111,15 @@ type TraceSummary struct {
 	Bytes      int64
 	Spills     int64
 	SpillBytes int64
+
+	// Fault-injection observables (all zero on a fault-free run):
+	// FaultEvents counts every recorded KindFault event (injected drops,
+	// duplicates, delays, crashes, stalls, plus recovery actions); Resends and
+	// Restarts single out the reliability layer's retransmissions and worker
+	// restarts.
+	FaultEvents int64
+	Resends     int64
+	Restarts    int64
 }
 
 // Summary computes the divergence digest. It fails if the trace does not
@@ -120,7 +129,7 @@ func (t *Trace) Summary() (TraceSummary, error) {
 	if err != nil {
 		return TraceSummary{}, err
 	}
-	return TraceSummary{
+	ts := TraceSummary{
 		Processors:        rp.P,
 		Tasks:             len(rp.Tasks),
 		PredictedMakespan: rp.PredictedMakespan,
@@ -135,5 +144,15 @@ func (t *Trace) Summary() (TraceSummary, error) {
 		Bytes:             rp.BytesSent,
 		Spills:            rp.SpillCount,
 		SpillBytes:        rp.SpillBytes,
-	}, nil
+	}
+	for id, n := range t.rec.FaultCounts() {
+		ts.FaultEvents += n
+		switch id {
+		case trace.FaultResend:
+			ts.Resends = n
+		case trace.FaultRestart:
+			ts.Restarts = n
+		}
+	}
+	return ts, nil
 }
