@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet fmt-check check chaos ci
+.PHONY: all build test race bench vet fmt-check check chaos serve-smoke ci
 
 all: ci
 
@@ -45,6 +45,13 @@ chaos:
 
 check: build vet test race
 
+# Serving smoke test: boot pastix-serve on a random loopback port and drive
+# analyze → analyze (asserting a cache hit) → factorize → coalesced batched
+# solves against a generated Poisson problem end to end, then scrape
+# /metrics. Self-contained (no curl); exits non-zero on any failure.
+serve-smoke:
+	$(GO) run ./cmd/pastix-serve -smoke
+
 # The CI entry point (and default target): build, vet+gofmt, tests, race,
-# then the chaos soak.
-ci: build vet test race chaos
+# the chaos soak, then the serving smoke test.
+ci: build vet test race chaos serve-smoke

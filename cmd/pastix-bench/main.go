@@ -46,7 +46,13 @@ func main() {
 		sharedCmp  = flag.Bool("sharedcmp", false, "compare shared-memory vs message-passing runtime (executed, 3D Poisson)")
 		sharedGrid = flag.Int("sharedgrid", 14, "Poisson grid edge for -sharedcmp (n³ unknowns)")
 		sharedReps = flag.Int("sharedreps", 5, "timing repetitions per point for -sharedcmp (best kept)")
-		jsonOut    = flag.String("json", "", "also write -sharedcmp rows as JSON to this file")
+		jsonOut    = flag.String("json", "", "also write -sharedcmp or -batchrhs rows as JSON to this file")
+
+		batchRHS   = flag.Bool("batchrhs", false, "compare k independent parallel solves vs one batched multi-RHS solve (executed, 3D Poisson)")
+		batchGrid  = flag.Int("batchgrid", 14, "Poisson grid edge for -batchrhs (n³ unknowns)")
+		batchProcs = flag.Int("batchprocs", 4, "processor count for -batchrhs")
+		batchReps  = flag.Int("batchreps", 5, "timing repetitions per point for -batchrhs (best kept)")
+		batchKs    = flag.String("batchks", "1,2,4,8,16,32", "right-hand-side counts for -batchrhs")
 
 		diverge  = flag.Bool("divergence", false, "trace an executed 3D Poisson factorization under both runtimes and print the predicted-vs-actual divergence reports")
 		divGrid  = flag.Int("divgrid", 12, "Poisson grid edge for -divergence (n³ unknowns)")
@@ -56,7 +62,7 @@ func main() {
 	if *all {
 		*table1, *table2, *dense, *ablate = true, true, true, true
 	}
-	if !*table1 && !*table2 && !*dense && !*ablate && !*sharedCmp && !*diverge && *plot == "" && *bsweep == "" {
+	if !*table1 && !*table2 && !*dense && !*ablate && !*sharedCmp && !*batchRHS && !*diverge && *plot == "" && *bsweep == "" {
 		flag.Usage()
 		return
 	}
@@ -146,6 +152,40 @@ func main() {
 				Reps int                `json:"reps"`
 				Rows []bench.RuntimeRow `json:"rows"`
 			}{g, *sharedReps, rows}, "", "  ")
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("rows written to %s\n", *jsonOut)
+		}
+		fmt.Println()
+	}
+	if *batchRHS {
+		g := *batchProcs
+		var ks []int
+		for _, s := range strings.Split(*batchKs, ",") {
+			k, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || k < 1 {
+				log.Fatalf("bad -batchks entry %q", s)
+			}
+			ks = append(ks, k)
+		}
+		fmt.Printf("== batched multi-RHS solve vs %d independent parallel solves, executed %d³ Poisson on %d processors (best of %d) ==\n",
+			ks[len(ks)-1], *batchGrid, g, *batchReps)
+		rows, err := bench.CompareBatchedSolve(*batchGrid, *batchGrid, *batchGrid, g, ks, *batchReps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(bench.FormatBatchedSolve(rows))
+		if *jsonOut != "" {
+			data, err := json.MarshalIndent(struct {
+				Grid int              `json:"grid"`
+				P    int              `json:"p"`
+				Reps int              `json:"reps"`
+				Rows []bench.BatchRow `json:"rows"`
+			}{*batchGrid, g, *batchReps, rows}, "", "  ")
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -1,0 +1,102 @@
+// Command pastix-serve runs the solver-as-a-service HTTP daemon
+// (internal/service): a pattern-keyed analysis cache, a factor handle store,
+// a multi-RHS solve batcher and admission control behind a JSON API.
+//
+//	pastix-serve -addr :8416 -procs 4
+//
+// With -smoke it instead starts itself on a random loopback port, drives a
+// full analyze → analyze(cached) → factorize → batched-solve round trip
+// against a generated Poisson problem, scrapes /metrics, and exits non-zero
+// on any failure — the self-contained serving smoke test behind
+// `make serve-smoke`.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/pastix-go/pastix"
+	"github.com/pastix-go/pastix/internal/service"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8416", "listen address (host:port; :0 picks a free port)")
+		procs       = flag.Int("procs", 4, "virtual processors per factorization")
+		shared      = flag.Bool("shared", false, "factorize with the zero-copy shared-memory runtime")
+		cacheSize   = flag.Int("cache-size", 0, "analysis cache entries (0 = default)")
+		maxFactors  = flag.Int("max-factors", 0, "live factor handles (0 = default)")
+		batchWindow = flag.Duration("batch-window", 0, "multi-RHS coalescing window (0 = default 2ms)")
+		maxBatch    = flag.Int("max-batch", 0, "right-hand sides per batch (0 = default)")
+		queueDepth  = flag.Int("queue-depth", 0, "admission queue depth (0 = default)")
+		workers     = flag.Int("workers", 0, "concurrent requests (0 = default)")
+		deadline    = flag.Duration("deadline", 0, "default per-request deadline (0 = default 30s)")
+		smoke       = flag.Bool("smoke", false, "run the end-to-end serving smoke test and exit")
+	)
+	flag.Parse()
+
+	cfg := service.Config{
+		Solver:          pastix.Options{Processors: *procs, SharedMemory: *shared},
+		CacheSize:       *cacheSize,
+		MaxFactors:      *maxFactors,
+		BatchWindow:     *batchWindow,
+		MaxBatch:        *maxBatch,
+		QueueDepth:      *queueDepth,
+		Workers:         *workers,
+		DefaultDeadline: *deadline,
+	}
+
+	if *smoke {
+		if err := runSmoke(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "serve-smoke: FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Println("serve-smoke: PASS")
+		return
+	}
+
+	if err := serve(cfg, *addr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// serve runs the daemon until SIGINT/SIGTERM, then drains connections.
+func serve(cfg service.Config, addr string) error {
+	s, err := service.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("pastix-serve listening on %s", ln.Addr())
+	hs := &http.Server{Handler: s.Handler()}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+	select {
+	case sig := <-stop:
+		log.Printf("pastix-serve: %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return hs.Shutdown(ctx)
+	case err := <-done:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}

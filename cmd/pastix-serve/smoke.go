@@ -1,0 +1,205 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/pastix-go/pastix"
+	"github.com/pastix-go/pastix/internal/gen"
+	"github.com/pastix-go/pastix/internal/service"
+)
+
+// Wire bodies for the smoke client (mirrors internal/service's JSON API).
+type smokeMatrixReq struct {
+	MatrixMarket string `json:"matrix_market"`
+}
+type smokeAnalyzeResp struct {
+	Fingerprint string `json:"fingerprint"`
+	Cached      bool   `json:"cached"`
+	N           int    `json:"n"`
+	Tasks       int    `json:"tasks"`
+}
+type smokeFactorizeResp struct {
+	Handle         string `json:"handle"`
+	AnalysisCached bool   `json:"analysis_cached"`
+}
+type smokeSolveReq struct {
+	Handle string    `json:"handle"`
+	B      []float64 `json:"b"`
+}
+type smokeSolveResp struct {
+	X       []float64 `json:"x"`
+	Batched int       `json:"batched"`
+}
+
+// runSmoke boots the service on a random loopback port and drives the full
+// serving loop against itself: analysis caching, factorization, coalesced
+// multi-RHS solves, and the metrics exposition.
+func runSmoke(cfg service.Config) error {
+	// A wide window so the concurrent smoke solves reliably coalesce.
+	if cfg.BatchWindow == 0 {
+		cfg.BatchWindow = 250 * time.Millisecond
+	}
+	s, err := service.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("serve-smoke: serving on", base)
+
+	// A 3-D Poisson problem with a known solution.
+	a := gen.Laplacian3D(8, 8, 8)
+	xTrue, b := gen.RHSForSolution(a)
+	var mm strings.Builder
+	if err := pastix.WriteMatrixMarket(&mm, a, "serve-smoke poisson 8x8x8"); err != nil {
+		return err
+	}
+
+	// Analyze; the second request for the same pattern must be a cache hit.
+	var ar smokeAnalyzeResp
+	if err := smokePost(base+"/v1/analyze", smokeMatrixReq{MatrixMarket: mm.String()}, &ar); err != nil {
+		return fmt.Errorf("analyze: %w", err)
+	}
+	if ar.Cached || ar.N != a.N || ar.Tasks <= 0 {
+		return fmt.Errorf("unexpected first analyze response: %+v", ar)
+	}
+	fmt.Printf("serve-smoke: analyzed n=%d tasks=%d fingerprint=%.8s…\n", ar.N, ar.Tasks, ar.Fingerprint)
+	var ar2 smokeAnalyzeResp
+	if err := smokePost(base+"/v1/analyze", smokeMatrixReq{MatrixMarket: mm.String()}, &ar2); err != nil {
+		return fmt.Errorf("second analyze: %w", err)
+	}
+	if !ar2.Cached {
+		return fmt.Errorf("second analyze of the same pattern was not served from cache")
+	}
+	fmt.Println("serve-smoke: second analyze served from cache")
+
+	// Factorize against the cached analysis.
+	var fr smokeFactorizeResp
+	if err := smokePost(base+"/v1/factorize", smokeMatrixReq{MatrixMarket: mm.String()}, &fr); err != nil {
+		return fmt.Errorf("factorize: %w", err)
+	}
+	if !fr.AnalysisCached || fr.Handle == "" {
+		return fmt.Errorf("unexpected factorize response: %+v", fr)
+	}
+	fmt.Println("serve-smoke: factorized, handle", fr.Handle)
+
+	// Concurrent solves with scaled right-hand sides: A(c·x) = c·b, so each
+	// column has a known solution. They should ride one coalesced batch.
+	const k = 4
+	n := a.N
+	solErr := make([]error, k)
+	batched := make([]int, k)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := float64(i + 1)
+			bi := make([]float64, n)
+			for j := range bi {
+				bi[j] = c * b[j]
+			}
+			var sr smokeSolveResp
+			if err := smokePost(base+"/v1/solve", smokeSolveReq{Handle: fr.Handle, B: bi}, &sr); err != nil {
+				solErr[i] = fmt.Errorf("solve %d: %w", i, err)
+				return
+			}
+			batched[i] = sr.Batched
+			for j := range sr.X {
+				if math.Abs(sr.X[j]-c*xTrue[j]) > 1e-8 {
+					solErr[i] = fmt.Errorf("solve %d: x[%d] = %v, want %v", i, j, sr.X[j], c*xTrue[j])
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range solErr {
+		if err != nil {
+			return err
+		}
+	}
+	maxBatched := 0
+	for _, v := range batched {
+		if v > maxBatched {
+			maxBatched = v
+		}
+	}
+	fmt.Printf("serve-smoke: %d solves verified, batch sizes %v\n", k, batched)
+	if maxBatched < 2 {
+		return fmt.Errorf("batcher did not coalesce: batch sizes %v", batched)
+	}
+
+	// Scrape /metrics and assert the cache hits were counted.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	text := string(raw)
+	for _, want := range []string{"pastix_cache_hits_total", "pastix_batches_total", "pastix_batched_rhs_total"} {
+		if !strings.Contains(text, want) {
+			return fmt.Errorf("metrics exposition missing %s", want)
+		}
+	}
+	hits, err := smokeMetric(text, "pastix_cache_hits_total")
+	if err != nil {
+		return err
+	}
+	if hits < 1 {
+		return fmt.Errorf("pastix_cache_hits_total = %g, want ≥ 1", hits)
+	}
+	fmt.Printf("serve-smoke: metrics ok (cache hits %g)\n", hits)
+	return nil
+}
+
+func smokePost(url string, body, into any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}
+
+// smokeMetric reads one un-labelled sample value from Prometheus text.
+func smokeMetric(text, name string) (float64, error) {
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			var v float64
+			if _, err := fmt.Sscanf(line, name+" %g", &v); err != nil {
+				return 0, fmt.Errorf("parse %q: %w", line, err)
+			}
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("metric %s not found", name)
+}

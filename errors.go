@@ -27,6 +27,11 @@ var (
 	// Ratio2D or LeafSize, an unknown ordering method, or an inconsistent
 	// FaultPlan). The wrapping error names the offending field.
 	ErrBadOptions = errors.New("pastix: invalid options")
+	// ErrPatternMismatch reports a matrix handed to FactorizeValues whose
+	// sparsity pattern differs from the pattern the Analysis was built for.
+	// Analyses are keyed by PatternFingerprint; only the numerical values may
+	// change between factorizations sharing one analysis.
+	ErrPatternMismatch = errors.New("pastix: matrix pattern does not match the analysed pattern")
 	// ErrFaultBudget reports that a fault-injected run (Options.Faults)
 	// degraded past recovery: the reliability layer exhausted a message's
 	// resend budget or a worker's restart budget. The concrete error is a

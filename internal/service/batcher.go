@@ -1,0 +1,91 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// batcher coalesces concurrent solve requests against one factor into
+// blocked multi-RHS panel solves: the first request in an empty batch arms a
+// window timer; companions arriving within the window join the panel, and
+// the batch flushes on the timer or as soon as maxBatch right-hand sides
+// have gathered. The panel runs once through SolveParallelMany, whose
+// columns are bit-identical to independent SolveParallel calls, so riding a
+// batch never changes a client's answer — it only amortizes the solve's
+// synchronization and message latency and gives the kernels BLAS-3 shape.
+type batcher struct {
+	window   time.Duration
+	maxBatch int
+
+	// run executes one flushed batch: solve the n×len(reqs) panel assembled
+	// from the requests and deliver each column (or the error) to its waiter.
+	run func(reqs []*solveReq)
+
+	mu      sync.Mutex
+	pending []*solveReq
+	timer   *time.Timer
+}
+
+// solveReq is one client right-hand side waiting to ride a batch.
+type solveReq struct {
+	ctx context.Context
+	b   []float64
+	res chan solveRes
+}
+
+// solveRes is the demultiplexed result of one batched column.
+type solveRes struct {
+	x       []float64
+	batched int // size of the batch this request rode in
+	err     error
+}
+
+func newBatcher(window time.Duration, maxBatch int, run func([]*solveReq)) *batcher {
+	return &batcher{window: window, maxBatch: maxBatch, run: run}
+}
+
+// submit queues req and returns its result channel. The channel receives
+// exactly one solveRes once the batch the request rode in has executed.
+func (t *batcher) submit(req *solveReq) <-chan solveRes {
+	req.res = make(chan solveRes, 1)
+	t.mu.Lock()
+	t.pending = append(t.pending, req)
+	switch {
+	case len(t.pending) >= t.maxBatch:
+		// Full: flush now, cancelling the armed window.
+		if t.timer != nil {
+			t.timer.Stop()
+			t.timer = nil
+		}
+		batch := t.pending
+		t.pending = nil
+		t.mu.Unlock()
+		go t.run(batch)
+		return req.res
+	case len(t.pending) == 1 && t.window > 0:
+		// First in: arm the window.
+		t.timer = time.AfterFunc(t.window, t.flush)
+	case t.window <= 0:
+		// Coalescing disabled: every request is its own batch.
+		batch := t.pending
+		t.pending = nil
+		t.mu.Unlock()
+		go t.run(batch)
+		return req.res
+	}
+	t.mu.Unlock()
+	return req.res
+}
+
+// flush runs the pending batch when the window expires.
+func (t *batcher) flush() {
+	t.mu.Lock()
+	batch := t.pending
+	t.pending = nil
+	t.timer = nil
+	t.mu.Unlock()
+	if len(batch) > 0 {
+		t.run(batch)
+	}
+}

@@ -1,0 +1,125 @@
+// Package service is the solver-as-a-service layer: a long-running process
+// wrapping the pastix pipeline with
+//
+//   - a pattern-fingerprint → Analysis LRU cache with single-flight
+//     deduplication, so concurrent requests for one sparsity pattern trigger
+//     exactly one ordering/symbolic/scheduling pass and later requests reuse
+//     it (the amortization PaStiX's analysis/factorization split exists for);
+//   - a factor handle store, so clients factorize once and solve many times;
+//   - a multi-RHS batcher that coalesces concurrent solve requests against
+//     one factor into a single blocked panel solve (BLAS-3 shape) and
+//     demultiplexes the bit-identical per-column results;
+//   - admission control: a bounded queue ahead of a worker pool, 429-style
+//     shedding on overflow, and per-request deadlines flowing into the
+//     context-aware pastix API.
+//
+// cmd/pastix-serve exposes it over HTTP.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/pastix-go/pastix"
+)
+
+// ErrBadConfig reports an invalid Config, mirroring pastix.ErrBadOptions:
+// match with errors.Is; the wrapping error names the offending field. When
+// the embedded solver options are at fault the error also matches
+// pastix.ErrBadOptions.
+var ErrBadConfig = errors.New("service: invalid config")
+
+// Config configures a Server. The zero value is valid: every field has a
+// documented default.
+type Config struct {
+	// Solver is the analysis/factorization configuration shared by every
+	// request (the cache is keyed by pattern fingerprint only, so all cached
+	// analyses are built under these options).
+	Solver pastix.Options
+	// CacheSize bounds the analysis LRU cache (entries; default 16).
+	CacheSize int
+	// MaxFactors bounds the live factor handles (default 64); factorize
+	// requests beyond it are rejected until handles are released.
+	MaxFactors int
+	// BatchWindow is how long the first solve request against a factor waits
+	// for companions before the batch is flushed (default 2ms; set MaxBatch
+	// to 1 to disable coalescing entirely).
+	BatchWindow time.Duration
+	// MaxBatch flushes a batch early once this many right-hand sides have
+	// coalesced (default 32).
+	MaxBatch int
+	// QueueDepth bounds the admitted-but-unfinished requests; beyond it
+	// requests are shed with 429 (default 64).
+	QueueDepth int
+	// Workers bounds the concurrently executing phases — analyses,
+	// factorizations and batched panel solves (default GOMAXPROCS, capped at
+	// 8). Solve requests parked on the batching window hold only queue slots,
+	// so coalescing works even with a single worker.
+	Workers int
+	// DefaultDeadline applies to requests that carry no deadline_ms of their
+	// own (default 30s).
+	DefaultDeadline time.Duration
+}
+
+// Validate checks the configuration, rejecting service-nonsensical
+// combinations: negative sizes, windows or deadlines, and invalid embedded
+// solver options. Errors match ErrBadConfig (and pastix.ErrBadOptions when
+// the solver options are at fault).
+func (c Config) Validate() error {
+	if err := c.Solver.Validate(); err != nil {
+		return fmt.Errorf("%w: solver options: %w", ErrBadConfig, err)
+	}
+	if c.CacheSize < 0 {
+		return fmt.Errorf("%w: CacheSize %d is negative", ErrBadConfig, c.CacheSize)
+	}
+	if c.MaxFactors < 0 {
+		return fmt.Errorf("%w: MaxFactors %d is negative", ErrBadConfig, c.MaxFactors)
+	}
+	if c.BatchWindow < 0 {
+		return fmt.Errorf("%w: BatchWindow %v is negative", ErrBadConfig, c.BatchWindow)
+	}
+	if c.MaxBatch < 0 {
+		return fmt.Errorf("%w: MaxBatch %d is negative", ErrBadConfig, c.MaxBatch)
+	}
+	if c.QueueDepth < 0 {
+		return fmt.Errorf("%w: QueueDepth %d is negative", ErrBadConfig, c.QueueDepth)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("%w: Workers %d is negative", ErrBadConfig, c.Workers)
+	}
+	if c.DefaultDeadline < 0 {
+		return fmt.Errorf("%w: DefaultDeadline %v is negative", ErrBadConfig, c.DefaultDeadline)
+	}
+	return nil
+}
+
+// withDefaults returns c with every zero field replaced by its default.
+func (c Config) withDefaults() Config {
+	if c.CacheSize == 0 {
+		c.CacheSize = 16
+	}
+	if c.MaxFactors == 0 {
+		c.MaxFactors = 64
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 32
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+		if c.Workers > 8 {
+			c.Workers = 8
+		}
+	}
+	if c.DefaultDeadline == 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	return c
+}

@@ -1,0 +1,130 @@
+package service
+
+import (
+	"io"
+
+	"github.com/pastix-go/pastix/internal/trace"
+)
+
+// Metrics is the service's observability surface, exported in the Prometheus
+// text exposition format on GET /metrics. Counters and histograms are
+// lock-free (internal/trace primitives); gauges are sampled at scrape time.
+type Metrics struct {
+	// Request counters per endpoint.
+	AnalyzeRequests   trace.Counter
+	FactorizeRequests trace.Counter
+	SolveRequests     trace.Counter
+	RequestErrors     trace.Counter
+
+	// Analysis cache.
+	CacheHits      trace.Counter
+	CacheMisses    trace.Counter
+	CacheCoalesced trace.Counter
+	CacheEvictions trace.Counter
+
+	// Multi-RHS batcher.
+	Batches    trace.Counter
+	BatchedRHS trace.Counter
+	BatchSize  *trace.Hist
+
+	// Admission control.
+	Shed       trace.Counter
+	QueueDepth trace.Gauge
+
+	// Per-phase latency histograms (seconds). Analyze and Solve observe the
+	// service-measured wall time of the phase; the factorization phase is fed
+	// from the execution trace's Summary, which also supplies the runtime
+	// traffic counters below.
+	AnalyzeSeconds   *trace.Hist
+	FactorizeSeconds *trace.Hist
+	SolveSeconds     *trace.Hist
+
+	// Traced factorization observables (trace.Summary → metrics adapter).
+	FactorizeMakespan   *trace.Hist
+	FactorizeModelError *trace.Hist
+	RuntimeMessages     trace.Counter
+	RuntimeBytes        trace.Counter
+}
+
+// NewMetrics returns a Metrics with the default bucket ladders.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		BatchSize:           trace.NewHist(trace.BatchBuckets()...),
+		AnalyzeSeconds:      trace.NewHist(trace.LatencyBuckets()...),
+		FactorizeSeconds:    trace.NewHist(trace.LatencyBuckets()...),
+		SolveSeconds:        trace.NewHist(trace.LatencyBuckets()...),
+		FactorizeMakespan:   trace.NewHist(trace.LatencyBuckets()...),
+		FactorizeModelError: trace.NewHist(0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5),
+	}
+}
+
+// write emits the full exposition; cacheEntries and factorsLive are sampled
+// by the caller at scrape time.
+func (m *Metrics) write(w io.Writer, cacheEntries, factorsLive int) error {
+	counters := []struct {
+		name, help string
+		c          *trace.Counter
+	}{
+		{"pastix_requests_analyze_total", "analyze requests accepted", &m.AnalyzeRequests},
+		{"pastix_requests_factorize_total", "factorize requests accepted", &m.FactorizeRequests},
+		{"pastix_requests_solve_total", "solve requests accepted", &m.SolveRequests},
+		{"pastix_request_errors_total", "requests that returned an error", &m.RequestErrors},
+		{"pastix_cache_hits_total", "analysis cache hits (pattern already resident)", &m.CacheHits},
+		{"pastix_cache_misses_total", "analysis cache misses (led a fresh analysis)", &m.CacheMisses},
+		{"pastix_cache_coalesced_total", "requests that joined an in-flight analysis (single-flight)", &m.CacheCoalesced},
+		{"pastix_cache_evictions_total", "analyses evicted by the LRU", &m.CacheEvictions},
+		{"pastix_batches_total", "batched panel solves executed", &m.Batches},
+		{"pastix_batched_rhs_total", "right-hand sides carried by batched solves", &m.BatchedRHS},
+		{"pastix_shed_total", "requests shed by admission control (429)", &m.Shed},
+		{"pastix_runtime_messages_total", "messages sent by traced factorizations", &m.RuntimeMessages},
+		{"pastix_runtime_bytes_total", "bytes sent by traced factorizations", &m.RuntimeBytes},
+	}
+	for _, c := range counters {
+		if err := trace.PromHeader(w, c.name, "counter", c.help); err != nil {
+			return err
+		}
+		if err := trace.PromValue(w, c.name, c.c.Value()); err != nil {
+			return err
+		}
+	}
+	gauges := []struct {
+		name, help string
+		v          int64
+	}{
+		{"pastix_queue_depth", "admitted requests currently queued or executing", m.QueueDepth.Value()},
+		{"pastix_cache_entries", "analyses resident in the cache", int64(cacheEntries)},
+		{"pastix_factors_live", "live factor handles", int64(factorsLive)},
+	}
+	for _, g := range gauges {
+		if err := trace.PromHeader(w, g.name, "gauge", g.help); err != nil {
+			return err
+		}
+		if err := trace.PromValue(w, g.name, g.v); err != nil {
+			return err
+		}
+	}
+	hists := []struct {
+		name, help, labels string
+		h                  *trace.Hist
+	}{
+		{"pastix_batch_size_rhs", "right-hand sides per batched solve", "", m.BatchSize},
+		{"pastix_phase_latency_seconds", "per-phase latency", `phase="analyze"`, m.AnalyzeSeconds},
+		{"pastix_phase_latency_seconds", "", `phase="factorize"`, m.FactorizeSeconds},
+		{"pastix_phase_latency_seconds", "", `phase="solve"`, m.SolveSeconds},
+		{"pastix_factorize_makespan_seconds", "traced factorization makespan (trace summary)", "", m.FactorizeMakespan},
+		{"pastix_factorize_model_error", "duration-weighted |model error| of traced factorizations", "", m.FactorizeModelError},
+	}
+	seen := map[string]bool{}
+	for _, h := range hists {
+		if !seen[h.name] {
+			if err := trace.PromHeader(w, h.name, "histogram", h.help); err != nil {
+				return err
+			}
+			seen[h.name] = true
+		}
+		if err := h.h.WriteProm(w, h.name, h.labels); err != nil {
+			return err
+		}
+	}
+	return nil
+}

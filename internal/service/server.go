@@ -1,0 +1,454 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/pastix-go/pastix"
+)
+
+// errShed reports a request rejected by admission control (HTTP 429).
+var errShed = errors.New("service: admission queue full")
+
+// Server is the solver service: analysis cache, factor store, batcher and
+// admission control behind an HTTP handler. Create with New, mount
+// Handler(), Close when done.
+type Server struct {
+	cfg     Config
+	metrics *Metrics
+	cache   *analysisCache
+	store   *factorStore
+
+	queue  chan struct{} // admission slots (queued or executing)
+	active chan struct{} // worker slots (executing)
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	start   time.Time
+}
+
+// New validates cfg, applies defaults and returns a ready Server.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	m := NewMetrics()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		metrics: m,
+		store:   newFactorStore(cfg.MaxFactors),
+		queue:   make(chan struct{}, cfg.QueueDepth),
+		active:  make(chan struct{}, cfg.Workers),
+		baseCtx: ctx,
+		cancel:  cancel,
+		start:   time.Now(),
+	}
+	s.cache = newAnalysisCache(cfg.CacheSize, m, func(ctx context.Context, a *pastix.Matrix) (*pastix.Analysis, error) {
+		return pastix.AnalyzeContext(ctx, a, cfg.Solver)
+	})
+	return s, nil
+}
+
+// Metrics exposes the server's metrics (for tests and embedding).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Close releases the server: in-flight batched solves are cancelled.
+func (s *Server) Close() { s.cancel() }
+
+// Handler returns the HTTP surface:
+//
+//	POST /v1/analyze    {"matrix_market": "...", "deadline_ms": 0}
+//	POST /v1/factorize  {"matrix_market": "...", "deadline_ms": 0}
+//	POST /v1/solve      {"handle": "...", "b": [...], "deadline_ms": 0}
+//	POST /v1/release    {"handle": "..."}
+//	GET  /healthz
+//	GET  /metrics
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("POST /v1/factorize", s.handleFactorize)
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("POST /v1/release", s.handleRelease)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// --- admission control ---
+
+// admit reserves a queue slot (shedding with errShed when QueueDepth is
+// exceeded), then waits for a worker slot. The returned release frees both.
+// Used by analyze and factorize, whose compute runs on the request's own
+// goroutine.
+func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	unqueue, err := s.admitQueue()
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case s.active <- struct{}{}:
+	case <-ctx.Done():
+		unqueue()
+		return nil, ctx.Err()
+	case <-s.baseCtx.Done():
+		unqueue()
+		return nil, s.baseCtx.Err()
+	}
+	return func() {
+		<-s.active
+		unqueue()
+	}, nil
+}
+
+// admitQueue reserves only a bounded-queue slot, no worker slot. Solve
+// requests use it: their compute runs inside the shared batch (which takes
+// its own worker slot in runBatch), so a waiter parked on the batching
+// window must not pin a worker — that would serialize the very requests the
+// batcher exists to coalesce whenever Workers < batch size.
+func (s *Server) admitQueue() (release func(), err error) {
+	select {
+	case s.queue <- struct{}{}:
+	default:
+		s.metrics.Shed.Inc()
+		return nil, errShed
+	}
+	s.metrics.QueueDepth.Set(int64(len(s.queue)))
+	return func() {
+		<-s.queue
+		s.metrics.QueueDepth.Set(int64(len(s.queue)))
+	}, nil
+}
+
+// reqContext derives the request context: the client deadline when given,
+// the configured default otherwise.
+func (s *Server) reqContext(r *http.Request, deadlineMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultDeadline
+	if deadlineMS > 0 {
+		d = time.Duration(deadlineMS) * time.Millisecond
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// --- request/response bodies ---
+
+type matrixRequest struct {
+	// MatrixMarket is the matrix in symmetric coordinate Matrix Market text
+	// (the SuiteSparse exchange format; internal/sparse reader).
+	MatrixMarket string `json:"matrix_market"`
+	DeadlineMS   int64  `json:"deadline_ms,omitempty"`
+}
+
+type analyzeResponse struct {
+	Fingerprint   string  `json:"fingerprint"`
+	Cached        bool    `json:"cached"`
+	N             int     `json:"n"`
+	NNZ           int     `json:"nnz"`
+	Processors    int     `json:"processors"`
+	Tasks         int     `json:"tasks"`
+	BlockNNZL     int64   `json:"block_nnz_l"`
+	PredictedTime float64 `json:"predicted_time_s"`
+	AnalyzeMS     float64 `json:"analyze_ms"`
+}
+
+type factorizeResponse struct {
+	Handle         string  `json:"handle"`
+	Fingerprint    string  `json:"fingerprint"`
+	AnalysisCached bool    `json:"analysis_cached"`
+	FactorizeMS    float64 `json:"factorize_ms"`
+}
+
+type solveRequest struct {
+	Handle     string    `json:"handle"`
+	B          []float64 `json:"b"`
+	DeadlineMS int64     `json:"deadline_ms,omitempty"`
+}
+
+type solveResponse struct {
+	X       []float64 `json:"x"`
+	Batched int       `json:"batched"`
+	SolveMS float64   `json:"solve_ms"`
+}
+
+type releaseRequest struct {
+	Handle string `json:"handle"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// --- handlers ---
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req matrixRequest
+	a, ok := s.decodeMatrix(w, r, &req)
+	if !ok {
+		return
+	}
+	ctx, cancel := s.reqContext(r, req.DeadlineMS)
+	defer cancel()
+	release, err := s.admit(ctx)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	defer release()
+	s.metrics.AnalyzeRequests.Inc()
+	fp := pastix.PatternFingerprint(a)
+	t0 := time.Now()
+	an, hit, err := s.cache.Get(ctx, fp, a)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	if !hit {
+		s.metrics.AnalyzeSeconds.Observe(time.Since(t0).Seconds())
+	}
+	st := an.Stats()
+	s.writeJSON(w, http.StatusOK, analyzeResponse{
+		Fingerprint:   fp,
+		Cached:        hit,
+		N:             st.N,
+		NNZ:           st.NNZA,
+		Processors:    st.Processors,
+		Tasks:         st.Tasks,
+		BlockNNZL:     st.BlockNNZL,
+		PredictedTime: st.PredictedTime,
+		AnalyzeMS:     float64(time.Since(t0)) / float64(time.Millisecond),
+	})
+}
+
+func (s *Server) handleFactorize(w http.ResponseWriter, r *http.Request) {
+	var req matrixRequest
+	a, ok := s.decodeMatrix(w, r, &req)
+	if !ok {
+		return
+	}
+	ctx, cancel := s.reqContext(r, req.DeadlineMS)
+	defer cancel()
+	release, err := s.admit(ctx)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	defer release()
+	s.metrics.FactorizeRequests.Inc()
+	fp := pastix.PatternFingerprint(a)
+	an, hit, err := s.cache.Get(ctx, fp, a)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	t0 := time.Now()
+	// FactorizeValuesTraced re-verifies the pattern against the (possibly
+	// cached) analysis — a fingerprint collision surfaces here as
+	// ErrPatternMismatch instead of a silently wrong factorization — and the
+	// execution trace feeds the runtime metrics.
+	f, tr, err := an.FactorizeValuesTraced(ctx, a, pastix.TraceOptions{})
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	wall := time.Since(t0)
+	s.metrics.FactorizeSeconds.Observe(wall.Seconds())
+	if sum, serr := tr.Summary(); serr == nil {
+		s.metrics.FactorizeMakespan.Observe(sum.MeasuredMakespan.Seconds())
+		s.metrics.FactorizeModelError.Observe(sum.MeanAbsModelError)
+		s.metrics.RuntimeMessages.Add(sum.Messages)
+		s.metrics.RuntimeBytes.Add(sum.Bytes)
+	}
+	e := &factorEntry{fingerprint: fp, n: a.N, an: an, f: f}
+	e.batch = newBatcher(s.cfg.BatchWindow, s.cfg.MaxBatch, func(reqs []*solveReq) { s.runBatch(e, reqs) })
+	handle, err := s.store.Put(e)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, factorizeResponse{
+		Handle:         handle,
+		Fingerprint:    fp,
+		AnalysisCached: hit,
+		FactorizeMS:    float64(wall) / float64(time.Millisecond),
+	})
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req solveRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	ctx, cancel := s.reqContext(r, req.DeadlineMS)
+	defer cancel()
+	release, err := s.admitQueue()
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	defer release()
+	e, err := s.store.Get(req.Handle)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	if len(req.B) != e.n {
+		s.writeErr(w, fmt.Errorf("rhs length %d, matrix order %d: %w", len(req.B), e.n, pastix.ErrShape))
+		return
+	}
+	s.metrics.SolveRequests.Inc()
+	t0 := time.Now()
+	ch := e.batch.submit(&solveReq{ctx: ctx, b: req.B})
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			s.writeErr(w, res.err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, solveResponse{
+			X:       res.x,
+			Batched: res.batched,
+			SolveMS: float64(time.Since(t0)) / float64(time.Millisecond),
+		})
+	case <-ctx.Done():
+		s.writeErr(w, ctx.Err())
+	}
+}
+
+// runBatch executes one coalesced panel solve and demultiplexes the columns.
+func (s *Server) runBatch(e *factorEntry, reqs []*solveReq) {
+	k := len(reqs)
+	s.metrics.Batches.Inc()
+	s.metrics.BatchedRHS.Add(int64(k))
+	s.metrics.BatchSize.Observe(float64(k))
+	n := e.n
+	panel := make([]float64, n*k)
+	for i, r := range reqs {
+		copy(panel[i*n:(i+1)*n], r.b)
+	}
+	// The batch outlives any single waiter's cancellation (a cancelled waiter
+	// just discards its column); its deadline is the latest deadline across
+	// the riders, under the server's lifetime context.
+	ctx := s.baseCtx
+	cancel := context.CancelFunc(func() {})
+	var latest time.Time
+	for _, r := range reqs {
+		if d, ok := r.ctx.Deadline(); ok && d.After(latest) {
+			latest = d
+		}
+	}
+	if !latest.IsZero() {
+		ctx, cancel = context.WithDeadline(ctx, latest)
+	}
+	defer cancel()
+	// The panel solve is the batch's unit of compute: it takes a worker slot
+	// here (solve waiters hold only queue slots, see admitQueue).
+	select {
+	case s.active <- struct{}{}:
+		defer func() { <-s.active }()
+	case <-ctx.Done():
+		for _, r := range reqs {
+			r.res <- solveRes{err: ctx.Err()}
+		}
+		return
+	}
+	t0 := time.Now()
+	xs, err := e.an.SolveParallelManyContext(ctx, e.f, panel, k)
+	s.metrics.SolveSeconds.Observe(time.Since(t0).Seconds())
+	for i, r := range reqs {
+		if err != nil {
+			r.res <- solveRes{err: err}
+			continue
+		}
+		x := make([]float64, n)
+		copy(x, xs[i*n:(i+1)*n])
+		r.res <- solveRes{x: x, batched: k}
+	}
+}
+
+func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	var req releaseRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if err := s.store.Release(req.Handle); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, struct {
+		Released string `json:"released"`
+	}{req.Handle})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, struct {
+		Status        string  `json:"status"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		CachedAnal    int     `json:"cached_analyses"`
+		LiveFactors   int     `json:"live_factors"`
+	}{"ok", time.Since(s.start).Seconds(), s.cache.Len(), s.store.Len()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.metrics.write(w, s.cache.Len(), s.store.Len())
+}
+
+// --- encoding helpers ---
+
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, into any) bool {
+	if err := json.NewDecoder(r.Body).Decode(into); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		s.metrics.RequestErrors.Inc()
+		return false
+	}
+	return true
+}
+
+func (s *Server) decodeMatrix(w http.ResponseWriter, r *http.Request, req *matrixRequest) (*pastix.Matrix, bool) {
+	if !s.decodeJSON(w, r, req) {
+		return nil, false
+	}
+	a, err := pastix.ReadMatrixMarket(strings.NewReader(req.MatrixMarket))
+	if err != nil {
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "matrix_market: " + err.Error()})
+		s.metrics.RequestErrors.Inc()
+		return nil, false
+	}
+	return a, true
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// writeErr maps service and solver errors to HTTP statuses.
+func (s *Server) writeErr(w http.ResponseWriter, err error) {
+	s.metrics.RequestErrors.Inc()
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, errShed):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrStoreFull):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrUnknownHandle):
+		status = http.StatusNotFound
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, pastix.ErrNotSPD),
+		errors.Is(err, pastix.ErrShape),
+		errors.Is(err, pastix.ErrPatternMismatch),
+		errors.Is(err, pastix.ErrBadOptions):
+		status = http.StatusBadRequest
+	}
+	s.writeJSON(w, status, errorResponse{Error: err.Error()})
+}

@@ -1,0 +1,298 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/pastix-go/pastix"
+	"github.com/pastix-go/pastix/internal/gen"
+)
+
+func mmString(t *testing.T, a *pastix.Matrix) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := pastix.WriteMatrixMarket(&sb, a, "service test"); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func postJSON(t *testing.T, url string, body, into any) (status int) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("decode %s response: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// End-to-end over real HTTP: analyze twice (second is a cache hit),
+// factorize against the cached analysis, fire k concurrent solves that ride
+// the batcher, and check every returned column is bit-identical to an
+// independent SolveParallel call against the same factor — the PR's
+// acceptance criterion.
+func TestServerEndToEnd(t *testing.T) {
+	s, err := New(Config{
+		Solver:      pastix.Options{Processors: 3},
+		BatchWindow: 300 * time.Millisecond,
+		MaxBatch:    8,
+		Workers:     8,
+		QueueDepth:  32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	a := gen.Laplacian3D(6, 6, 6)
+	mm := mmString(t, a)
+
+	var ar analyzeResponse
+	if st := postJSON(t, ts.URL+"/v1/analyze", matrixRequest{MatrixMarket: mm}, &ar); st != http.StatusOK {
+		t.Fatalf("analyze status %d", st)
+	}
+	if ar.Cached {
+		t.Fatal("first analyze reported cached=true")
+	}
+	if ar.N != a.N || ar.Fingerprint == "" || ar.Tasks <= 0 {
+		t.Fatalf("bad analyze response: %+v", ar)
+	}
+	var ar2 analyzeResponse
+	if st := postJSON(t, ts.URL+"/v1/analyze", matrixRequest{MatrixMarket: mm}, &ar2); st != http.StatusOK {
+		t.Fatalf("second analyze status %d", st)
+	}
+	if !ar2.Cached {
+		t.Fatal("second analyze for the same pattern was not a cache hit")
+	}
+	if ar2.Fingerprint != ar.Fingerprint {
+		t.Fatalf("fingerprint changed: %s vs %s", ar.Fingerprint, ar2.Fingerprint)
+	}
+	if s.Metrics().CacheHits.Value() < 1 {
+		t.Fatal("cache hit not counted")
+	}
+
+	var fr factorizeResponse
+	if st := postJSON(t, ts.URL+"/v1/factorize", matrixRequest{MatrixMarket: mm}, &fr); st != http.StatusOK {
+		t.Fatalf("factorize status %d", st)
+	}
+	if !fr.AnalysisCached {
+		t.Fatal("factorize did not reuse the cached analysis")
+	}
+	if fr.Handle == "" {
+		t.Fatal("empty factor handle")
+	}
+
+	// k concurrent solves against one handle; the 300ms window should coalesce
+	// them into one panel.
+	const k = 4
+	n := a.N
+	bs := make([][]float64, k)
+	for i := range bs {
+		bs[i] = make([]float64, n)
+		for j := range bs[i] {
+			bs[i][j] = math.Cos(float64(1+j*(i+2))) + float64(i)
+		}
+	}
+	xs := make([][]float64, k)
+	batched := make([]int, k)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var sr solveResponse
+			if st := postJSON(t, ts.URL+"/v1/solve", solveRequest{Handle: fr.Handle, B: bs[i]}, &sr); st != http.StatusOK {
+				t.Errorf("solve %d status %d", i, st)
+				return
+			}
+			xs[i] = sr.X
+			batched[i] = sr.Batched
+		}(i)
+	}
+	wg.Wait()
+
+	maxBatched := 0
+	for _, b := range batched {
+		if b > maxBatched {
+			maxBatched = b
+		}
+	}
+	if maxBatched < 2 {
+		t.Fatalf("no coalescing observed: batch sizes %v", batched)
+	}
+
+	// Bit-identity: each batched column must equal an independent
+	// single-RHS SolveParallel against the very same analysis and factor.
+	e, err := s.store.Get(fr.Handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < k; i++ {
+		want, err := e.an.SolveParallel(e.f, bs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(xs[i]) != n {
+			t.Fatalf("solve %d returned %d values, want %d", i, len(xs[i]), n)
+		}
+		for j := range want {
+			if xs[i][j] != want[j] {
+				t.Fatalf("solve %d: x[%d] = %v, independent SolveParallel = %v (not bit-identical)",
+					i, j, xs[i][j], want[j])
+			}
+		}
+	}
+
+	// Metrics scrape reflects the traffic.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	text := readAll(t, resp)
+	for _, want := range []string{
+		"pastix_cache_hits_total",
+		"pastix_cache_misses_total 1",
+		"pastix_batches_total",
+		"pastix_batched_rhs_total",
+		"pastix_factors_live 1",
+		`pastix_phase_latency_seconds_count{phase="solve"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+	if !metricAtLeast(t, text, "pastix_cache_hits_total", 1) {
+		t.Errorf("pastix_cache_hits_total < 1 in:\n%s", text)
+	}
+
+	// Release the handle; further solves 404.
+	if st := postJSON(t, ts.URL+"/v1/release", releaseRequest{Handle: fr.Handle}, nil); st != http.StatusOK {
+		t.Fatalf("release status %d", st)
+	}
+	if st := postJSON(t, ts.URL+"/v1/solve", solveRequest{Handle: fr.Handle, B: bs[0]}, nil); st != http.StatusNotFound {
+		t.Fatalf("solve after release: status %d, want 404", st)
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		m, err := resp.Body.Read(buf)
+		sb.Write(buf[:m])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String()
+}
+
+// metricAtLeast parses a single un-labelled counter line from Prometheus
+// text and checks its value.
+func metricAtLeast(t *testing.T, text, name string, min float64) bool {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			var v float64
+			if _, err := fmt.Sscanf(line, name+" %g", &v); err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			return v >= min
+		}
+	}
+	return false
+}
+
+// A full admission queue sheds with 429 and counts the shed.
+func TestServerAdmissionShed(t *testing.T) {
+	s, err := New(Config{Solver: pastix.Options{Processors: 1}, QueueDepth: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Occupy the only queue slot so the next request sheds immediately.
+	s.queue <- struct{}{}
+	defer func() { <-s.queue }()
+
+	mm := mmString(t, gen.Laplacian3D(3, 3, 3))
+	if st := postJSON(t, ts.URL+"/v1/analyze", matrixRequest{MatrixMarket: mm}, nil); st != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", st)
+	}
+	if s.Metrics().Shed.Value() != 1 {
+		t.Fatalf("shed counter %d, want 1", s.Metrics().Shed.Value())
+	}
+}
+
+func TestServerRequestErrors(t *testing.T) {
+	s, err := New(Config{Solver: pastix.Options{Processors: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Unknown handle → 404.
+	if st := postJSON(t, ts.URL+"/v1/solve", solveRequest{Handle: "nope", B: []float64{1}}, nil); st != http.StatusNotFound {
+		t.Fatalf("unknown handle: status %d, want 404", st)
+	}
+	// Unparsable matrix → 400.
+	if st := postJSON(t, ts.URL+"/v1/analyze", matrixRequest{MatrixMarket: "not a matrix"}, nil); st != http.StatusBadRequest {
+		t.Fatalf("bad matrix: status %d, want 400", st)
+	}
+	// Wrong RHS length → 400.
+	mm := mmString(t, gen.Laplacian3D(3, 3, 3))
+	var fr factorizeResponse
+	if st := postJSON(t, ts.URL+"/v1/factorize", matrixRequest{MatrixMarket: mm}, &fr); st != http.StatusOK {
+		t.Fatalf("factorize status %d", st)
+	}
+	if st := postJSON(t, ts.URL+"/v1/solve", solveRequest{Handle: fr.Handle, B: []float64{1, 2}}, nil); st != http.StatusBadRequest {
+		t.Fatalf("short rhs: status %d, want 400", st)
+	}
+	if s.Metrics().RequestErrors.Value() < 3 {
+		t.Fatalf("request errors %d, want ≥ 3", s.Metrics().RequestErrors.Value())
+	}
+}
+
+// A client deadline too short for the analysis surfaces as 504 gateway
+// timeout via the context-aware API.
+func TestServerDeadline(t *testing.T) {
+	s, err := New(Config{Solver: pastix.Options{Processors: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	mm := mmString(t, gen.Laplacian3D(16, 16, 16))
+	st := postJSON(t, ts.URL+"/v1/analyze", matrixRequest{MatrixMarket: mm, DeadlineMS: 1}, nil)
+	if st != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", st)
+	}
+}

@@ -1,0 +1,84 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/pastix-go/pastix"
+)
+
+// Errors of the factor handle store.
+var (
+	// ErrUnknownHandle reports a solve or release against a handle that was
+	// never issued or has been released.
+	ErrUnknownHandle = errors.New("service: unknown factor handle")
+	// ErrStoreFull reports that MaxFactors live handles exist; release one
+	// before factorizing again.
+	ErrStoreFull = errors.New("service: factor store full")
+)
+
+// factorEntry is one live factorization a client can solve against.
+type factorEntry struct {
+	handle      string
+	fingerprint string
+	n           int
+	an          *pastix.Analysis
+	f           *pastix.Factor
+	batch       *batcher
+}
+
+// factorStore issues and resolves factor handles. Handles are opaque
+// strings; each carries its own multi-RHS batcher.
+type factorStore struct {
+	mu  sync.Mutex
+	max int
+	seq uint64
+	m   map[string]*factorEntry
+}
+
+func newFactorStore(max int) *factorStore {
+	return &factorStore{max: max, m: make(map[string]*factorEntry)}
+}
+
+// Put registers a factorization and returns its handle.
+func (s *factorStore) Put(e *factorEntry) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.m) >= s.max {
+		return "", fmt.Errorf("%w: %d live handles", ErrStoreFull, len(s.m))
+	}
+	s.seq++
+	e.handle = fmt.Sprintf("f-%06d-%.8s", s.seq, e.fingerprint)
+	s.m[e.handle] = e
+	return e.handle, nil
+}
+
+// Get resolves a handle.
+func (s *factorStore) Get(handle string) (*factorEntry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m[handle]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownHandle, handle)
+	}
+	return e, nil
+}
+
+// Release frees a handle.
+func (s *factorStore) Release(handle string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[handle]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownHandle, handle)
+	}
+	delete(s.m, handle)
+	return nil
+}
+
+// Len returns the number of live handles.
+func (s *factorStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}

@@ -178,11 +178,21 @@ func (an *Analysis) FactorizeOpts(popts ParOptions) (*Factors, error) {
 // the parallel runtimes (all worker goroutines unwind before the call
 // returns) and is checked up front on the sequential path.
 func (an *Analysis) FactorizeOptsCtx(ctx context.Context, popts ParOptions) (*Factors, error) {
+	return an.FactorizeMatrixOptsCtx(ctx, an.A, popts)
+}
+
+// FactorizeMatrixOptsCtx factorizes pa — a matrix with the analysed sparsity
+// pattern, already permuted into the analysis ordering — under this
+// analysis's symbolic structure and schedule. This is the amortization the
+// analysis/factorization split exists for: one ordering/symbolic/scheduling
+// pass serves every matrix sharing the pattern. The caller is responsible
+// for pa actually having the analysed pattern.
+func (an *Analysis) FactorizeMatrixOptsCtx(ctx context.Context, pa *sparse.SymMatrix, popts ParOptions) (*Factors, error) {
 	if popts.SharedMemory {
 		if popts.Faults.Active() {
 			return nil, fmt.Errorf("solver: fault injection requires the message-passing runtime, not SharedMemory")
 		}
-		return FactorizeSharedCtx(ctx, an.A, an.Sched, popts.Trace)
+		return FactorizeSharedCtx(ctx, pa, an.Sched, popts.Trace)
 	}
 	// Fault injection forces the message-passing runtime even at P == 1 so
 	// crash/stall schedules have a worker to act on.
@@ -190,9 +200,9 @@ func (an *Analysis) FactorizeOptsCtx(ctx context.Context, popts ParOptions) (*Fa
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		return FactorizeSeq(an.A, an.Sym)
+		return FactorizeSeq(pa, an.Sym)
 	}
-	f, _, err := FactorizeParStatsCtx(ctx, an.A, an.Sched, popts)
+	f, _, err := FactorizeParStatsCtx(ctx, pa, an.Sched, popts)
 	return f, err
 }
 

@@ -158,17 +158,29 @@ type SolveOptions struct {
 // SolveParOpts is SolveParCtx with runtime options, including fault
 // injection.
 func SolveParOpts(ctx context.Context, sch *sched.Schedule, f *Factors, b []float64, sopts SolveOptions) ([]float64, error) {
+	return SolveParManyOpts(ctx, sch, f, b, 1, sopts)
+}
+
+// SolveParManyOpts solves A·X = B for nrhs right-hand sides at once on the
+// parallel message-passing runtime: b is an n×nrhs column-major panel in the
+// permuted ordering, and both sweeps run over whole panels — one message per
+// solution segment carrying nrhs columns instead of nrhs separate sweeps.
+// The per-column arithmetic (kernel loop order and the canonical source-sorted
+// application of remote contributions) is exactly that of the single-RHS
+// solve, so column r of the result is bit-identical to SolveParOpts on
+// column r of b.
+func SolveParManyOpts(ctx context.Context, sch *sched.Schedule, f *Factors, b []float64, nrhs int, sopts SolveOptions) ([]float64, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	sym := sch.Sym()
-	if len(b) != sym.N {
-		return nil, fmt.Errorf("solver: rhs length %d, matrix order %d: %w", len(b), sym.N, ErrShape)
+	if nrhs <= 0 || len(b) != sym.N*nrhs {
+		return nil, fmt.Errorf("solver: rhs panel must be n×nrhs = %d×%d: %w", sym.N, nrhs, ErrShape)
 	}
 	pl := newSolvePlan(sch)
 	P := sch.P
 	rec := sopts.Trace
-	x := make([]float64, sym.N)
+	x := make([]float64, sym.N*nrhs)
 	comm := mpsim.NewComm(P)
 	if rec != nil {
 		comm.SetTrace(rec)
@@ -203,6 +215,7 @@ func SolveParOpts(ctx context.Context, sch *sched.Schedule, f *Factors, b []floa
 		w := workers[p]
 		if w == nil {
 			w = &solveWorker{p: p, pl: pl, f: f, comm: comm, inj: inj,
+				nrhs: nrhs, n: sym.N,
 				y:      make(map[int][]float64),
 				xs:     make(map[int][]float64),
 				fwdAcc: make(map[int][]float64),
@@ -244,9 +257,11 @@ type solveWorker struct {
 	f    *Factors
 	comm *mpsim.Comm
 	inj  *faults.Injector // nil disables fault injection
+	nrhs int              // right-hand sides per panel (1 = classic solve)
+	n    int              // matrix order (panel leading dimension)
 
-	y      map[int][]float64 // forward segments by cell
-	xs     map[int][]float64 // backward segments by cell
+	y      map[int][]float64 // forward segments by cell (width×nrhs panels)
+	xs     map[int][]float64 // backward segments by cell (width×nrhs panels)
 	fwdAcc map[int][]float64 // locally aggregated forward contributions by target cell
 	fwdRem map[int]int
 	bwdAcc map[int][]float64
@@ -373,8 +388,10 @@ func (w *solveWorker) forward(b []float64) error {
 					return err
 				}
 			}
-			yk := make([]float64, wdt)
-			copy(yk, b[cb.Cols[0]:cb.Cols[1]])
+			yk := make([]float64, wdt*w.nrhs)
+			for r := 0; r < w.nrhs; r++ {
+				copy(yk[r*wdt:(r+1)*wdt], b[cb.Cols[0]+r*w.n:cb.Cols[1]+r*w.n])
+			}
 			if acc := w.fwdAcc[k]; acc != nil {
 				for i := range yk {
 					yk[i] -= acc[i]
@@ -386,7 +403,7 @@ func (w *solveWorker) forward(b []float64) error {
 					yk[i] -= data[i]
 				}
 			})
-			blas.TrsvLowerUnit(wdt, w.f.Data[k], ld, yk)
+			blas.TrsmLeftLowerUnit(wdt, w.nrhs, w.f.Data[k], ld, yk, wdt)
 			w.y[k] = yk
 			for _, q := range pl.ySendTo[k] {
 				w.comm.Send(mpsim.Message{Kind: msgYSeg, Src: w.p, Dst: q, Tag: k, Data: yk})
@@ -408,19 +425,24 @@ func (w *solveWorker) forward(b []float64) error {
 			}
 			f := blk.Facing
 			fcb := &sym.CB[f]
+			fw := fcb.Width()
 			acc := w.fwdAcc[f]
 			if acc == nil {
-				acc = make([]float64, fcb.Width())
+				acc = make([]float64, fw*w.nrhs)
 				w.fwdAcc[f] = acc
 			}
-			// acc[rows] += L_b · y_k  (GemvN computes y -= A·x, so negate by
-			// accumulating into a positively-signed buffer via a temp).
+			// acc[rows] += L_b · Y_k  (GemmNN computes C -= A·B, so negate by
+			// accumulating into a positively-signed buffer via a temp panel).
 			off := blk.FirstRow - fcb.Cols[0]
-			seg := acc[off : off+blk.Rows()]
-			tmp := make([]float64, blk.Rows())
-			blas.GemvN(blk.Rows(), wdt, w.f.Data[k][w.f.BlockOff[k][bi]:], ld, w.y[k], tmp)
-			for i := range seg {
-				seg[i] -= tmp[i] // tmp = -L·y, so acc += L·y
+			br := blk.Rows()
+			tmp := make([]float64, br*w.nrhs)
+			blas.GemmNN(br, w.nrhs, wdt, w.f.Data[k][w.f.BlockOff[k][bi]:], ld, w.y[k], wdt, tmp, br)
+			for r := 0; r < w.nrhs; r++ {
+				seg := acc[off+r*fw : off+r*fw+br]
+				ts := tmp[r*br : (r+1)*br]
+				for i := range seg {
+					seg[i] -= ts[i] // tmp = -L·Y, so acc += L·Y
+				}
 			}
 			w.fwdRem[f]--
 			if w.fwdRem[f] == 0 && pl.diagOwner[f] != w.p {
@@ -482,13 +504,13 @@ func (w *solveWorker) backward(x []float64) error {
 			}
 			acc := w.bwdAcc[k]
 			if acc == nil {
-				acc = make([]float64, wdt)
+				acc = make([]float64, wdt*w.nrhs)
 				w.bwdAcc[k] = acc
 			}
 			off := blk.FirstRow - sym.CB[f].Cols[0]
-			blas.GemvT(blk.Rows(), wdt, w.f.Data[k][w.f.BlockOff[k][bi]:], ld,
-				w.xs[f][off:off+blk.Rows()], acc)
-			// GemvT computes acc -= L_bᵀ·x, which is exactly the sign needed.
+			blas.GemmTN(wdt, w.nrhs, blk.Rows(), w.f.Data[k][w.f.BlockOff[k][bi]:], ld,
+				w.xs[f][off:], sym.CB[f].Width(), acc, wdt)
+			// GemmTN computes acc -= L_bᵀ·X, which is exactly the sign needed.
 			w.bwdRem[k]--
 			if w.bwdRem[k] == 0 && pl.diagOwner[k] != w.p {
 				buf := w.bwdAcc[k]
@@ -509,11 +531,13 @@ func (w *solveWorker) backward(x []float64) error {
 				return err
 			}
 		}
-		// x_k = L_kkᵀ \ (D⁻¹ y_k + Σ accumulated −L_bᵀ x).
-		xk := make([]float64, wdt)
+		// X_k = L_kkᵀ \ (D⁻¹ Y_k + Σ accumulated −L_bᵀ X).
+		xk := make([]float64, wdt*w.nrhs)
 		yk := w.y[k]
-		for j := 0; j < wdt; j++ {
-			xk[j] = yk[j] / w.f.Data[k][j+j*ld]
+		for r := 0; r < w.nrhs; r++ {
+			for j := 0; j < wdt; j++ {
+				xk[r*wdt+j] = yk[r*wdt+j] / w.f.Data[k][j+j*ld]
+			}
 		}
 		if acc := w.bwdAcc[k]; acc != nil {
 			for i := range xk {
@@ -526,9 +550,11 @@ func (w *solveWorker) backward(x []float64) error {
 				xk[i] += data[i]
 			}
 		})
-		blas.TrsvLowerTransUnit(wdt, w.f.Data[k], ld, xk)
+		blas.TrsmLeftLTransUnit(wdt, w.nrhs, w.f.Data[k], ld, xk, wdt)
 		w.xs[k] = xk
-		copy(x[cb.Cols[0]:cb.Cols[1]], xk)
+		for r := 0; r < w.nrhs; r++ {
+			copy(x[cb.Cols[0]+r*w.n:cb.Cols[1]+r*w.n], xk[r*wdt:(r+1)*wdt])
+		}
 		for _, q := range pl.xSendTo[k] {
 			w.comm.Send(mpsim.Message{Kind: msgXSeg, Src: w.p, Dst: q, Tag: k, Data: xk})
 		}

@@ -60,6 +60,51 @@ func (a *SymMatrix) Validate() error {
 	return nil
 }
 
+// PatternFingerprint returns a 128-bit hex fingerprint of the sparsity
+// pattern: the order n plus the compressed column pointers and row indices
+// (values are ignored). Two matrices with the same pattern always produce
+// the same fingerprint; distinct patterns collide with probability ~2⁻¹²⁸
+// (two independent FNV-1a streams — strong enough to key an analysis cache,
+// not cryptographic). The fingerprint is stable across runs and platforms.
+func (a *SymMatrix) PatternFingerprint() string {
+	const prime = 0x100000001b3
+	h1 := uint64(0xcbf29ce484222325) // FNV-1a offset basis
+	h2 := uint64(0x6c62272e07bb0142) // second independent stream
+	mix := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			b := (v >> s) & 0xff
+			h1 = (h1 ^ b) * prime
+			h2 = (h2 ^ (b ^ 0xa5)) * prime
+		}
+	}
+	mix(uint64(a.N))
+	for _, p := range a.ColPtr {
+		mix(uint64(p))
+	}
+	for _, r := range a.RowIdx {
+		mix(uint64(r))
+	}
+	return fmt.Sprintf("%016x%016x", h1, h2)
+}
+
+// SamePattern reports whether b has exactly the sparsity pattern of a.
+func (a *SymMatrix) SamePattern(b *SymMatrix) bool {
+	if a.N != b.N || len(a.RowIdx) != len(b.RowIdx) {
+		return false
+	}
+	for j, p := range a.ColPtr {
+		if b.ColPtr[j] != p {
+			return false
+		}
+	}
+	for i, r := range a.RowIdx {
+		if b.RowIdx[i] != r {
+			return false
+		}
+	}
+	return true
+}
+
 // Diag returns a copy of the diagonal.
 func (a *SymMatrix) Diag() []float64 {
 	d := make([]float64, a.N)

@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistBucketsCumulative(t *testing.T) {
+	h := NewHist(1, 10, 100)
+	for _, v := range []float64{0.5, 1, 5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	if err := h.WriteProm(&sb, "m", `phase="x"`); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`m_bucket{phase="x",le="1"} 2`,
+		`m_bucket{phase="x",le="10"} 3`,
+		`m_bucket{phase="x",le="100"} 4`,
+		`m_bucket{phase="x",le="+Inf"} 6`,
+		`m_count{phase="x"} 6`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if h.Sum() != 0.5+1+5+50+500+5000 {
+		t.Fatalf("sum %g", h.Sum())
+	}
+}
+
+func TestHistConcurrentObserve(t *testing.T) {
+	h := NewHist(LatencyBuckets()...)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if diff := h.Sum() - 8; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("sum %g", h.Sum())
+	}
+}

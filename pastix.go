@@ -359,6 +359,96 @@ func (an *Analysis) SolveMany(f *Factor, b []float64, nrhs int) ([]float64, erro
 	return x, nil
 }
 
+// PatternFingerprint returns a 128-bit hex fingerprint of the sparsity
+// pattern of a: the order plus the compressed column pointers and row
+// indices (values ignored). Matrices sharing a pattern share a fingerprint,
+// so it is the key under which a serving layer can reuse one Analysis —
+// the expensive ordering/symbolic/scheduling pass — across many
+// factorizations (see internal/service). Stable across runs and platforms.
+func PatternFingerprint(a *Matrix) string {
+	if a == nil {
+		return ""
+	}
+	return a.PatternFingerprint()
+}
+
+// FactorizeValues computes the LDLᵀ factorization of a matrix with the SAME
+// sparsity pattern as the analysed one but (possibly) different numerical
+// values, reusing this analysis — the amortization the PaStiX
+// analysis/factorization split exists for. The pattern is verified (in the
+// analysis ordering) and ErrPatternMismatch reported on any difference.
+func (an *Analysis) FactorizeValues(ctx context.Context, a *Matrix) (*Factor, error) {
+	pa, err := an.permuteSamePattern(a)
+	if err != nil {
+		return nil, err
+	}
+	f, err := an.inner.FactorizeMatrixOptsCtx(ctx, pa, solver.ParOptions{SharedMemory: an.shared, Faults: an.faults})
+	if err != nil {
+		return nil, err
+	}
+	return &Factor{inner: f, an: an.inner}, nil
+}
+
+// permuteSamePattern permutes a into the analysis ordering after verifying
+// it carries exactly the analysed sparsity pattern.
+func (an *Analysis) permuteSamePattern(a *Matrix) (*sparse.SymMatrix, error) {
+	if a == nil {
+		return nil, fmt.Errorf("pastix: nil matrix")
+	}
+	if a.N != an.inner.A.N || a.NNZ() != an.inner.A.NNZ() {
+		return nil, fmt.Errorf("pastix: order %d nnz %d vs analysed %d/%d: %w",
+			a.N, a.NNZ(), an.inner.A.N, an.inner.A.NNZ(), ErrPatternMismatch)
+	}
+	pa := a.Permute(an.inner.Perm)
+	if !pa.SamePattern(an.inner.A) {
+		return nil, ErrPatternMismatch
+	}
+	return pa, nil
+}
+
+// SolveParallelMany solves A·X = B for nrhs right-hand sides in ONE panel
+// sweep of the parallel block triangular solves: each solution-segment
+// message carries all nrhs columns and the block kernels run with BLAS-3
+// shape, so a server coalescing concurrent single-RHS requests into a panel
+// pays the solve's synchronization and message latency once instead of nrhs
+// times. b is an n×nrhs column-major panel in the original ordering. The
+// panel runs on the message-passing runtime regardless of
+// Options.SharedMemory; column r of the result is bit-identical to a
+// message-passing SolveParallel of column r.
+func (an *Analysis) SolveParallelMany(f *Factor, b []float64, nrhs int) ([]float64, error) {
+	return an.SolveParallelManyContext(context.Background(), f, b, nrhs)
+}
+
+// SolveParallelManyContext is SolveParallelMany under a context: cancelling
+// ctx aborts both sweeps, unwinding every worker goroutine before returning
+// ctx.Err().
+func (an *Analysis) SolveParallelManyContext(ctx context.Context, f *Factor, b []float64, nrhs int) ([]float64, error) {
+	n := an.inner.A.N
+	if f == nil || f.an != an.inner {
+		return nil, ErrFactorMismatch
+	}
+	if nrhs <= 0 || len(b) != n*nrhs {
+		return nil, fmt.Errorf("pastix: rhs panel must be n×nrhs = %d×%d: %w", n, nrhs, ErrShape)
+	}
+	pb := make([]float64, len(b))
+	for r := 0; r < nrhs; r++ {
+		for newI, old := range an.inner.Perm {
+			pb[newI+r*n] = b[old+r*n]
+		}
+	}
+	px, err := solver.SolveParManyOpts(ctx, an.inner.Sched, f.inner, pb, nrhs, solver.SolveOptions{Faults: an.faults})
+	if err != nil {
+		return nil, err
+	}
+	x := make([]float64, len(b))
+	for r := 0; r < nrhs; r++ {
+		for newI, old := range an.inner.Perm {
+			x[old+r*n] = px[newI+r*n]
+		}
+	}
+	return x, nil
+}
+
 // SolveRefined solves A·x = b and applies up to iters steps of iterative
 // refinement, stopping early once the scaled residual reaches refinement
 // stagnation (no further improvement).

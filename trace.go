@@ -34,6 +34,23 @@ type Trace struct {
 // runtime is used instead of the plain sequential code so every schedule
 // task still gets an event.
 func (an *Analysis) FactorizeTraced(ctx context.Context, topts TraceOptions) (*Factor, *Trace, error) {
+	return an.factorizeTraced(ctx, an.inner.A, topts)
+}
+
+// FactorizeValuesTraced is FactorizeValues with execution tracing: it
+// factorizes a matrix sharing the analysed pattern (ErrPatternMismatch
+// otherwise) and returns the recorded events alongside the factor, so a
+// serving layer reusing one analysis across many factorizations can feed
+// each run's Trace.Summary into its metrics.
+func (an *Analysis) FactorizeValuesTraced(ctx context.Context, a *Matrix, topts TraceOptions) (*Factor, *Trace, error) {
+	pa, err := an.permuteSamePattern(a)
+	if err != nil {
+		return nil, nil, err
+	}
+	return an.factorizeTraced(ctx, pa, topts)
+}
+
+func (an *Analysis) factorizeTraced(ctx context.Context, pa *Matrix, topts TraceOptions) (*Factor, *Trace, error) {
 	sch := an.inner.Sched
 	cap := topts.Buffer
 	if cap <= 0 {
@@ -41,7 +58,7 @@ func (an *Analysis) FactorizeTraced(ctx context.Context, topts TraceOptions) (*F
 		cap = 4*len(sch.Tasks)/sch.P + 64
 	}
 	rec := trace.New(sch.P, cap)
-	f, err := an.inner.FactorizeOptsCtx(ctx, solver.ParOptions{SharedMemory: an.shared, Trace: rec, Faults: an.faults})
+	f, err := an.inner.FactorizeMatrixOptsCtx(ctx, pa, solver.ParOptions{SharedMemory: an.shared, Trace: rec, Faults: an.faults})
 	if err != nil {
 		return nil, nil, err
 	}
