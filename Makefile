@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet fmt-check check chaos serve-smoke ci
+.PHONY: all build test race bench vet fmt-check check chaos numstress fuzz serve-smoke ci
 
 all: ci
 
@@ -43,6 +43,19 @@ chaos:
 	$(GO) test -race -timeout 300s -run 'Chaos|Fault|Reliab|Retry|Restart|Stall|Boundary' \
 		./internal/mpsim ./internal/faults ./internal/solver .
 
+# Numerical stress soak: the static-pivoting and refinement suites under the
+# race detector — graded-pivot matrices across all three runtimes (asserting
+# bitwise-identical perturbation reports), robust ε-escalation, and adaptive
+# refinement convergence.
+numstress:
+	$(GO) test -race -timeout 300s -run 'NumStress|GradedPivot|PerturbationReport|FactorizeRobust|Refine|Pivot' \
+		./internal/solver ./internal/gen ./internal/blas .
+
+# Short coverage-guided fuzz pass over the sparse-matrix invariants and the
+# file parsers (10s each keeps CI bounded; raise -fuzztime for a real hunt).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzCSR -fuzztime 10s ./internal/sparse
+
 check: build vet test race
 
 # Serving smoke test: boot pastix-serve on a random loopback port and drive
@@ -53,5 +66,6 @@ serve-smoke:
 	$(GO) run ./cmd/pastix-serve -smoke
 
 # The CI entry point (and default target): build, vet+gofmt, tests, race,
-# the chaos soak, then the serving smoke test.
-ci: build vet test race chaos serve-smoke
+# the chaos and numerical-stress soaks, a short fuzz pass, then the serving
+# smoke test.
+ci: build vet test race chaos numstress fuzz serve-smoke

@@ -40,12 +40,20 @@ func main() {
 		queueDepth  = flag.Int("queue-depth", 0, "admission queue depth (0 = default)")
 		workers     = flag.Int("workers", 0, "concurrent requests (0 = default)")
 		deadline    = flag.Duration("deadline", 0, "default per-request deadline (0 = default 30s)")
+		pivotEps    = flag.Float64("pivot-eps", 0, "static-pivot threshold ε_piv relative to ‖A‖_max (0 = no pivoting)")
+		pivotRetry  = flag.Int("pivot-retries", 0, "ε-escalation attempts when a factorization breaks down (0 = fail fast)")
+		refineTol   = flag.Float64("refine-tol", 0, "backward-error target for refinement of degraded solves (0 = default 1e-10)")
 		smoke       = flag.Bool("smoke", false, "run the end-to-end serving smoke test and exit")
 	)
 	flag.Parse()
 
 	cfg := service.Config{
-		Solver:          pastix.Options{Processors: *procs, SharedMemory: *shared},
+		Solver: pastix.Options{
+			Processors:   *procs,
+			SharedMemory: *shared,
+			StaticPivot:  pastix.StaticPivotOptions{Epsilon: *pivotEps, MaxRetries: *pivotRetry},
+			RefineTol:    *refineTol,
+		},
 		CacheSize:       *cacheSize,
 		MaxFactors:      *maxFactors,
 		BatchWindow:     *batchWindow,
@@ -69,7 +77,10 @@ func main() {
 	}
 }
 
-// serve runs the daemon until SIGINT/SIGTERM, then drains connections.
+// serve runs the daemon until SIGINT/SIGTERM, then drains gracefully: new
+// requests are refused (503, /healthz flips to "draining"), the listener
+// stops, and in-flight solves — including parked batch riders — finish
+// before the process exits.
 func serve(cfg service.Config, addr string) error {
 	s, err := service.New(cfg)
 	if err != nil {
@@ -89,10 +100,18 @@ func serve(cfg service.Config, addr string) error {
 	go func() { done <- hs.Serve(ln) }()
 	select {
 	case sig := <-stop:
-		log.Printf("pastix-serve: %v, shutting down", sig)
+		log.Printf("pastix-serve: %v, draining", sig)
+		s.BeginDrain()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		return hs.Shutdown(ctx)
+		if err := hs.Shutdown(ctx); err != nil {
+			return err
+		}
+		if err := s.Drain(ctx); err != nil {
+			return fmt.Errorf("pastix-serve: drain incomplete: %w", err)
+		}
+		log.Print("pastix-serve: drained")
+		return nil
 	case err := <-done:
 		if errors.Is(err, http.ErrServerClosed) {
 			return nil

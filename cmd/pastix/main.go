@@ -27,12 +27,12 @@ import (
 )
 
 // Exit codes: 0 success, 1 generic failure, 2 numerical breakdown (matrix
-// not SPD / zero pivot), 3 invalid options, 4 fault-injection budget
-// exhausted (chaos run declared unrecoverable).
+// not SPD / zero pivot / pivot escalation exhausted), 3 invalid options,
+// 4 fault-injection budget exhausted (chaos run declared unrecoverable).
 func fatal(err error) {
 	code := 1
 	switch {
-	case errors.Is(err, pastix.ErrNotSPD):
+	case errors.Is(err, pastix.ErrNotSPD), errors.Is(err, pastix.ErrPivotExhausted):
 		code = 2
 	case errors.Is(err, pastix.ErrBadOptions):
 		code = 3
@@ -68,6 +68,10 @@ func main() {
 		chaosMaxD  = flag.Duration("chaos-max-delay", 0, "upper bound on injected delivery delays (default 1ms)")
 		chaosCrash = flag.String("chaos-crash", "", "crash schedule as proc:task[,proc:task...] — crash each proc once before that task index")
 		chaosStall = flag.String("chaos-stall", "", "stall schedule as proc:task:duration[,...] — e.g. 2:1:50ms")
+
+		pivotEps   = flag.Float64("pivot-eps", 0, "static-pivot threshold ε_piv relative to ‖A‖_max (0 = no pivoting)")
+		pivotRetry = flag.Int("pivot-retries", 0, "ε-escalation attempts on breakdown via robust factorization (0 = fail fast)")
+		refineTol  = flag.Float64("refine-tol", 0, "refine the solve adaptively to this backward error (0 = off unless pivoting perturbed)")
 	)
 	flag.Parse()
 
@@ -113,6 +117,8 @@ func main() {
 		CalibrateMachine: *calibrate,
 		SharedMemory:     shared,
 		Faults:           plan,
+		StaticPivot:      pastix.StaticPivotOptions{Epsilon: *pivotEps, MaxRetries: *pivotRetry},
+		RefineTol:        *refineTol,
 	})
 	if err != nil {
 		fatal(err)
@@ -162,10 +168,22 @@ func main() {
 	start = time.Now()
 	var f *pastix.Factor
 	var tr *pastix.Trace
+	var robust *pastix.RobustStats
 	if tracing {
 		f, tr, err = an.FactorizeTraced(context.Background(), pastix.TraceOptions{})
 	} else {
 		f, err = an.Factorize()
+	}
+	if err != nil && errors.Is(err, pastix.ErrNotSPD) && *pivotRetry > 0 {
+		// Breakdown with escalation requested: retry with escalating ε_piv.
+		var rs pastix.RobustStats
+		f, rs, err = an.FactorizeRobust(context.Background())
+		if err == nil {
+			robust, tr = &rs, nil
+			if tracing {
+				fmt.Println("trace    : skipped (factorization recovered via robust escalation)")
+			}
+		}
 	}
 	if err != nil {
 		fatal(err)
@@ -173,7 +191,15 @@ func main() {
 	tFactor := time.Since(start)
 	fmt.Printf("factorize: %.3fs wall (%.2f GFlop/s on OPC, %s runtime)\n",
 		tFactor.Seconds(), st.ScalarOPC/tFactor.Seconds()/1e9, *runtime)
-	if *traceOut != "" {
+	if rep := f.Perturbations(); rep != nil && len(rep.Perturbed) > 0 {
+		fmt.Printf("pivoting : %d column(s) perturbed at ε=%.1e (τ=%.3e, growth %.2e): %v\n",
+			len(rep.Perturbed), rep.Epsilon, rep.Threshold, rep.PivotGrowth, rep.Columns())
+	}
+	if robust != nil {
+		fmt.Printf("robust   : recovered after %d attempt(s), backward error %.2e (%d refinement sweep(s))\n",
+			robust.Attempts, robust.BackwardError, robust.RefineIterations)
+	}
+	if tr != nil && *traceOut != "" {
 		fh, err := os.Create(*traceOut)
 		if err != nil {
 			fatal(err)
@@ -186,16 +212,29 @@ func main() {
 		}
 		fmt.Printf("trace    : Chrome trace-event JSON written to %s\n", *traceOut)
 	}
-	if *traceRep {
+	if tr != nil && *traceRep {
 		if err := tr.WriteReport(os.Stdout); err != nil {
 			fatal(err)
 		}
 	}
 
-	// Solve against b = A·x_ref and report the error.
+	// Solve against b = A·x_ref and report the error. A perturbed factor (or
+	// an explicit -refine-tol) routes through adaptive refinement so the
+	// answer meets the backward-error target despite the substituted pivots.
 	xref, b := gen.RHSForSolution(a)
+	perturbed := f.Perturbations() != nil && len(f.Perturbations().Perturbed) > 0
 	start = time.Now()
-	x, err := an.Solve(f, b)
+	var x []float64
+	if perturbed || *refineTol > 0 {
+		var rs pastix.RefineStats
+		x, rs, err = an.SolveRefinedStats(f, b)
+		if err == nil {
+			fmt.Printf("refine   : %d sweep(s), backward error %.2e (converged=%v)\n",
+				rs.Iterations, rs.BackwardError, rs.Converged)
+		}
+	} else {
+		x, err = an.Solve(f, b)
+	}
 	if err != nil {
 		fatal(err)
 	}

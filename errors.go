@@ -37,6 +37,11 @@ var (
 	// resend budget or a worker's restart budget. The concrete error is a
 	// *FaultBudgetError carrying per-processor progress.
 	ErrFaultBudget = solver.ErrFaultBudget
+	// ErrPivotExhausted reports that FactorizeRobust ran out of static-pivot
+	// escalation attempts: even the largest ε_piv tried either failed to
+	// factorize or left a backward error refinement could not pull under
+	// Options.RefineTol. The concrete error is a *PivotExhaustedError.
+	ErrPivotExhausted = solver.ErrPivotExhausted
 )
 
 // ZeroPivotError is the concrete error behind ErrNotSPD: the factorization
@@ -51,3 +56,9 @@ type FaultBudgetError = solver.FaultBudgetError
 
 // TaskProgress is one processor's entry in FaultBudgetError.Progress.
 type TaskProgress = solver.TaskProgress
+
+// PivotExhaustedError is the concrete error behind ErrPivotExhausted: the
+// attempts made, the last ε_piv tried, and — when a factorization did
+// complete — the probe backward error and perturbed columns it ended with.
+// errors.Is(err, ErrPivotExhausted) is true for it.
+type PivotExhaustedError = solver.PivotExhaustedError

@@ -58,13 +58,23 @@ func TestIntegrationFullSuite(t *testing.T) {
 					t.Fatalf("parallel solve differs at %d", i)
 				}
 			}
-			// Refinement cannot hurt.
-			xr, err := an.SolveRefined(f, b, 2)
+			// Refinement cannot hurt: the adaptive loop must hand back a
+			// monotonically non-increasing backward-error trajectory and a
+			// residual no worse than the plain solve's.
+			xr, rs, err := an.SolveRefinedStats(f, b)
 			if err != nil {
 				t.Fatal(err)
 			}
+			for i := 1; i < len(rs.Trajectory); i++ {
+				if rs.Trajectory[i] > rs.Trajectory[i-1] {
+					t.Fatalf("refinement trajectory not monotone: %v", rs.Trajectory)
+				}
+			}
 			if Residual(a, xr, b) > Residual(a, x, b)*1.001 {
 				t.Fatal("refinement worsened residual")
+			}
+			if !rs.Converged {
+				t.Fatalf("refinement did not converge on an SPD problem: %+v", rs)
 			}
 			// Block solve with 3 right-hand sides.
 			n := a.N

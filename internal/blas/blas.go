@@ -135,10 +135,41 @@ func Cholesky(n int, a []float64, ld int) error {
 // triangle holds the unit-lower L (unit diagonal implicit) and the diagonal
 // holds D. It returns an error on a zero pivot.
 func LDLT(n int, a []float64, ld int) error {
+	_, err := LDLTStatic(n, a, ld, 0)
+	return err
+}
+
+// Perturb records one static-pivot substitution inside a diagonal kernel:
+// the block-local column Index whose pivot Original fell below the threshold
+// and the value Used (sign(Original)·τ) written in its place.
+type Perturb struct {
+	Index    int
+	Original float64
+	Used     float64
+}
+
+// LDLTStatic is LDLT with static pivoting: a pivot with |d_k| < tau is
+// replaced by sign(d_k)·tau (an exact zero gets +tau) and the substitution is
+// recorded, so the factorization always completes on finite input. With
+// tau <= 0 the arithmetic is bit-identical to LDLT, including the zero-pivot
+// error. A NaN pivot is never perturbable and always errors.
+func LDLTStatic(n int, a []float64, ld int, tau float64) ([]Perturb, error) {
+	var perts []Perturb
 	for k := 0; k < n; k++ {
 		dk := a[k+k*ld]
-		if dk == 0 || math.IsNaN(dk) {
-			return &PivotError{Kernel: "ldlt", Index: k, Value: dk}
+		if math.IsNaN(dk) {
+			return nil, &PivotError{Kernel: "ldlt", Index: k, Value: dk}
+		}
+		if tau > 0 && math.Abs(dk) < tau {
+			used := tau
+			if math.Signbit(dk) {
+				used = -tau
+			}
+			a[k+k*ld] = used
+			perts = append(perts, Perturb{Index: k, Original: dk, Used: used})
+			dk = used
+		} else if dk == 0 {
+			return nil, &PivotError{Kernel: "ldlt", Index: k, Value: dk}
 		}
 		col := a[k*ld : k*ld+n]
 		inv := 1 / dk
@@ -156,7 +187,7 @@ func LDLT(n int, a []float64, ld int) error {
 			col[i] *= inv
 		}
 	}
-	return nil
+	return perts, nil
 }
 
 // TrsmRightLTransUnit solves X · Lᵀ = B in place for X, where L is n×n

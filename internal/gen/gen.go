@@ -215,6 +215,51 @@ func Generate(name string, scale float64) (*Problem, error) {
 	return &Problem{Name: name, Description: s.description, A: a}, nil
 }
 
+// GradedPivot builds a block-diagonal SPD matrix with controllably tiny
+// pivots: nb disconnected dense cliques of bs columns each, where clique
+// column j carries diagonal decay^j — an unpivoted LDLᵀ therefore meets
+// pivots graded down to ≈decay^(bs-1), driving them under any static-pivot
+// threshold τ on demand. Off-diagonals are −couple·sqrt(d_i·d_j) scaled by a
+// deterministic weight, so each clique stays SPD for couple·(bs−1) < 1.
+//
+// The blocks are deliberately disconnected cliques: each becomes exactly one
+// supernode with no cross-supernode contributions, so the sequential,
+// shared-memory and message-passing runtimes perform bit-identical
+// arithmetic on it — the property the cross-runtime PerturbationReport
+// equality tests rely on. Keep bs at or below the solver's block size (64)
+// so partitioning never splits a clique.
+//
+// With singular=true a final 2×2 block [[1,1],[1,1]] is appended whose
+// second pivot is exactly zero in IEEE arithmetic: the matrix then fails
+// unpivoted factorization with a zero-pivot error, while static pivoting
+// completes it with one recorded substitution.
+func GradedPivot(nb, bs int, decay, couple float64, singular bool) *sparse.SymMatrix {
+	n := nb * bs
+	if singular {
+		n += 2
+	}
+	b := sparse.NewBuilder(n)
+	for blk := 0; blk < nb; blk++ {
+		base := blk * bs
+		d := make([]float64, bs)
+		for j := 0; j < bs; j++ {
+			d[j] = math.Pow(decay, float64(j))
+			b.Add(base+j, base+j, d[j])
+		}
+		for j := 0; j < bs; j++ {
+			for i := j + 1; i < bs; i++ {
+				b.Add(base+i, base+j, -couple*math.Sqrt(d[i]*d[j])*weight(base+i, base+j))
+			}
+		}
+	}
+	if singular {
+		b.Add(n-2, n-2, 1)
+		b.Add(n-1, n-2, 1)
+		b.Add(n-1, n-1, 1)
+	}
+	return b.Build()
+}
+
 // RHSForSolution returns b = A·x for the deterministic solution
 // x[i] = 1 + (i mod 7)/7, handy for accuracy checks end to end.
 func RHSForSolution(a *sparse.SymMatrix) (x, b []float64) {

@@ -39,6 +39,13 @@ type solveRes struct {
 	x       []float64
 	batched int // size of the batch this request rode in
 	err     error
+
+	// Degraded-success diagnostics, set when the factor was perturbed by
+	// static pivoting and the column went through adaptive refinement.
+	degraded      bool
+	perturbedCols []int
+	backwardErr   float64
+	refineIters   int
 }
 
 func newBatcher(window time.Duration, maxBatch int, run func([]*solveReq)) *batcher {

@@ -44,6 +44,14 @@ type Metrics struct {
 	FactorizeModelError *trace.Hist
 	RuntimeMessages     trace.Counter
 	RuntimeBytes        trace.Counter
+
+	// Numerical-robustness observables: static-pivot substitutions recorded
+	// by factorizations, ε-escalation retries, solves answered in degraded
+	// mode, and the refinement iterations those solves spent.
+	PivotPerturbations trace.Counter
+	PivotRetries       trace.Counter
+	DegradedSolves     trace.Counter
+	RefineIterations   trace.Counter
 }
 
 // NewMetrics returns a Metrics with the default bucket ladders.
@@ -78,6 +86,10 @@ func (m *Metrics) write(w io.Writer, cacheEntries, factorsLive int) error {
 		{"pastix_shed_total", "requests shed by admission control (429)", &m.Shed},
 		{"pastix_runtime_messages_total", "messages sent by traced factorizations", &m.RuntimeMessages},
 		{"pastix_runtime_bytes_total", "bytes sent by traced factorizations", &m.RuntimeBytes},
+		{"pastix_pivot_perturbations_total", "static-pivot substitutions recorded by factorizations", &m.PivotPerturbations},
+		{"pastix_pivot_retries_total", "epsilon-escalation retries performed by robust factorizations", &m.PivotRetries},
+		{"pastix_degraded_solves_total", "solves answered in degraded mode (perturbed factor + refinement)", &m.DegradedSolves},
+		{"pastix_refine_iterations_total", "iterative-refinement sweeps spent by degraded solves", &m.RefineIterations},
 	}
 	for _, c := range counters {
 		if err := trace.PromHeader(w, c.name, "counter", c.help); err != nil {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/pastix-go/pastix"
@@ -14,6 +15,10 @@ import (
 
 // errShed reports a request rejected by admission control (HTTP 429).
 var errShed = errors.New("service: admission queue full")
+
+// errDraining reports a request arriving while the server drains for
+// shutdown (HTTP 503): in-flight work finishes, new work is refused.
+var errDraining = errors.New("service: draining for shutdown")
 
 // Server is the solver service: analysis cache, factor store, batcher and
 // admission control behind an HTTP handler. Create with New, mount
@@ -26,6 +31,11 @@ type Server struct {
 
 	queue  chan struct{} // admission slots (queued or executing)
 	active chan struct{} // worker slots (executing)
+
+	// draining flips on BeginDrain: admission refuses new requests with 503
+	// and /healthz reports "draining" so load balancers stop routing here,
+	// while already-admitted requests (including parked batch riders) finish.
+	draining atomic.Bool
 
 	baseCtx context.Context
 	cancel  context.CancelFunc
@@ -61,6 +71,34 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Close releases the server: in-flight batched solves are cancelled.
 func (s *Server) Close() { s.cancel() }
+
+// BeginDrain puts the server into draining mode: new requests are refused
+// with 503 and /healthz flips to 503/"draining", but admitted requests keep
+// running. Call before the HTTP listener shuts down, then Drain to wait.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain blocks until every admitted request has finished (the admission
+// queue and the worker pool are both empty) or ctx expires, returning
+// ctx.Err() in the latter case. Callers typically pair it with
+// http.Server.Shutdown under one deadline.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if len(s.queue) == 0 && len(s.active) == 0 {
+			return nil
+		}
+		select {
+		case <-tick.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
 
 // Handler returns the HTTP surface:
 //
@@ -113,6 +151,9 @@ func (s *Server) admit(ctx context.Context) (release func(), err error) {
 // window must not pin a worker — that would serialize the very requests the
 // batcher exists to coalesce whenever Workers < batch size.
 func (s *Server) admitQueue() (release func(), err error) {
+	if s.draining.Load() {
+		return nil, errDraining
+	}
 	select {
 	case s.queue <- struct{}{}:
 	default:
@@ -162,6 +203,16 @@ type factorizeResponse struct {
 	Fingerprint    string  `json:"fingerprint"`
 	AnalysisCached bool    `json:"analysis_cached"`
 	FactorizeMS    float64 `json:"factorize_ms"`
+	// Degraded-success fields (static pivoting): present when the
+	// factorization substituted pivots instead of failing.
+	PerturbedColumns []int   `json:"perturbed_columns,omitempty"`
+	PivotEpsilon     float64 `json:"pivot_epsilon,omitempty"`
+	PivotGrowth      float64 `json:"pivot_growth,omitempty"`
+	// Robust-escalation fields: set when the unpivoted factorization broke
+	// down and the server recovered via FactorizeValuesRobust.
+	PivotAttempts int     `json:"pivot_attempts,omitempty"`
+	BackwardError float64 `json:"backward_error,omitempty"`
+	RefineIters   int     `json:"refine_iters,omitempty"`
 }
 
 type solveRequest struct {
@@ -174,6 +225,14 @@ type solveResponse struct {
 	X       []float64 `json:"x"`
 	Batched int       `json:"batched"`
 	SolveMS float64   `json:"solve_ms"`
+	// Degraded-success fields: set when the factor behind the handle carries
+	// static-pivot perturbations — the solution went through adaptive
+	// refinement and these report the quality achieved, so clients get a 200
+	// with diagnostics instead of an error status.
+	Degraded         bool    `json:"degraded,omitempty"`
+	PerturbedColumns []int   `json:"perturbed_columns,omitempty"`
+	BackwardError    float64 `json:"backward_error,omitempty"`
+	RefineIters      int     `json:"refine_iters,omitempty"`
 }
 
 type releaseRequest struct {
@@ -182,6 +241,16 @@ type releaseRequest struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// Code is a stable machine-readable cause ("not_spd",
+	// "pivot_exhausted") for 422 numerical-breakdown responses.
+	Code string `json:"code,omitempty"`
+	// Column is the offending pivot column for not_spd breakdowns (pointer so
+	// column 0 survives encoding).
+	Column *int `json:"column,omitempty"`
+	// PerturbedColumns and Attempts detail pivot_exhausted responses: what
+	// the last escalation attempt perturbed and how many attempts ran.
+	PerturbedColumns []int `json:"perturbed_columns,omitempty"`
+	Attempts         int   `json:"attempts,omitempty"`
 }
 
 // --- handlers ---
@@ -252,17 +321,30 @@ func (s *Server) handleFactorize(w http.ResponseWriter, r *http.Request) {
 	// ErrPatternMismatch instead of a silently wrong factorization — and the
 	// execution trace feeds the runtime metrics.
 	f, tr, err := an.FactorizeValuesTraced(ctx, a, pastix.TraceOptions{})
+	var robust *pastix.RobustStats
+	if err != nil && errors.Is(err, pastix.ErrNotSPD) && s.cfg.Solver.StaticPivot.MaxRetries > 0 {
+		// Numerical breakdown with escalation configured: retry with
+		// escalating static pivoting instead of failing the request.
+		var rs pastix.RobustStats
+		f, rs, err = an.FactorizeValuesRobust(ctx, a)
+		if err == nil {
+			robust, tr = &rs, nil
+			s.metrics.PivotRetries.Add(int64(rs.Attempts - 1))
+		}
+	}
 	if err != nil {
 		s.writeErr(w, err)
 		return
 	}
 	wall := time.Since(t0)
 	s.metrics.FactorizeSeconds.Observe(wall.Seconds())
-	if sum, serr := tr.Summary(); serr == nil {
-		s.metrics.FactorizeMakespan.Observe(sum.MeasuredMakespan.Seconds())
-		s.metrics.FactorizeModelError.Observe(sum.MeanAbsModelError)
-		s.metrics.RuntimeMessages.Add(sum.Messages)
-		s.metrics.RuntimeBytes.Add(sum.Bytes)
+	if tr != nil {
+		if sum, serr := tr.Summary(); serr == nil {
+			s.metrics.FactorizeMakespan.Observe(sum.MeasuredMakespan.Seconds())
+			s.metrics.FactorizeModelError.Observe(sum.MeanAbsModelError)
+			s.metrics.RuntimeMessages.Add(sum.Messages)
+			s.metrics.RuntimeBytes.Add(sum.Bytes)
+		}
 	}
 	e := &factorEntry{fingerprint: fp, n: a.N, an: an, f: f}
 	e.batch = newBatcher(s.cfg.BatchWindow, s.cfg.MaxBatch, func(reqs []*solveReq) { s.runBatch(e, reqs) })
@@ -271,12 +353,24 @@ func (s *Server) handleFactorize(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, factorizeResponse{
+	resp := factorizeResponse{
 		Handle:         handle,
 		Fingerprint:    fp,
 		AnalysisCached: hit,
 		FactorizeMS:    float64(wall) / float64(time.Millisecond),
-	})
+	}
+	if rep := f.Perturbations(); rep != nil && len(rep.Perturbed) > 0 {
+		resp.PerturbedColumns = rep.Columns()
+		resp.PivotEpsilon = rep.Epsilon
+		resp.PivotGrowth = rep.PivotGrowth
+		s.metrics.PivotPerturbations.Add(int64(len(rep.Perturbed)))
+	}
+	if robust != nil {
+		resp.PivotAttempts = robust.Attempts
+		resp.BackwardError = robust.BackwardError
+		resp.RefineIters = robust.RefineIterations
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -311,9 +405,13 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.writeJSON(w, http.StatusOK, solveResponse{
-			X:       res.x,
-			Batched: res.batched,
-			SolveMS: float64(time.Since(t0)) / float64(time.Millisecond),
+			X:                res.x,
+			Batched:          res.batched,
+			SolveMS:          float64(time.Since(t0)) / float64(time.Millisecond),
+			Degraded:         res.degraded,
+			PerturbedColumns: res.perturbedCols,
+			BackwardError:    res.backwardErr,
+			RefineIters:      res.refineIters,
 		})
 	case <-ctx.Done():
 		s.writeErr(w, ctx.Err())
@@ -360,6 +458,8 @@ func (s *Server) runBatch(e *factorEntry, reqs []*solveReq) {
 	t0 := time.Now()
 	xs, err := e.an.SolveParallelManyContext(ctx, e.f, panel, k)
 	s.metrics.SolveSeconds.Observe(time.Since(t0).Seconds())
+	rep := e.f.Perturbations()
+	degraded := rep != nil && len(rep.Perturbed) > 0
 	for i, r := range reqs {
 		if err != nil {
 			r.res <- solveRes{err: err}
@@ -367,7 +467,22 @@ func (s *Server) runBatch(e *factorEntry, reqs []*solveReq) {
 		}
 		x := make([]float64, n)
 		copy(x, xs[i*n:(i+1)*n])
-		r.res <- solveRes{x: x, batched: k}
+		res := solveRes{x: x, batched: k}
+		if degraded {
+			// The factor was perturbed by static pivoting: repair each column
+			// with adaptive refinement and report the quality achieved, so the
+			// client gets a degraded success instead of an error.
+			if rx, rs, rerr := e.an.RefineSolution(e.f, r.b, x); rerr == nil {
+				res.x = rx
+				res.degraded = true
+				res.perturbedCols = rep.Columns()
+				res.backwardErr = rs.BackwardError
+				res.refineIters = rs.Iterations
+				s.metrics.DegradedSolves.Inc()
+				s.metrics.RefineIterations.Add(int64(rs.Iterations))
+			}
+		}
+		r.res <- res
 	}
 }
 
@@ -386,12 +501,17 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, struct {
+	status, code := "ok", http.StatusOK
+	if s.draining.Load() {
+		// Load balancers must stop routing here while in-flight work drains.
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, struct {
 		Status        string  `json:"status"`
 		UptimeSeconds float64 `json:"uptime_seconds"`
 		CachedAnal    int     `json:"cached_analyses"`
 		LiveFactors   int     `json:"live_factors"`
-	}{"ok", time.Since(s.start).Seconds(), s.cache.Len(), s.store.Len()})
+	}{status, time.Since(s.start).Seconds(), s.cache.Len(), s.store.Len()})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -429,13 +549,22 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, body any) {
 	_ = json.NewEncoder(w).Encode(body)
 }
 
-// writeErr maps service and solver errors to HTTP statuses.
+// writeErr maps service and solver errors to HTTP statuses. Numerical
+// breakdowns (ErrNotSPD, ErrPivotExhausted) become structured 422s carrying
+// the offending column or the exhausted escalation's state, so clients can
+// distinguish "your matrix is numerically hard" from a malformed request or
+// a server fault.
 func (s *Server) writeErr(w http.ResponseWriter, err error) {
 	s.metrics.RequestErrors.Inc()
+	resp := errorResponse{Error: err.Error()}
 	status := http.StatusInternalServerError
+	var zp *pastix.ZeroPivotError
+	var px *pastix.PivotExhaustedError
 	switch {
 	case errors.Is(err, errShed):
 		status = http.StatusTooManyRequests
+	case errors.Is(err, errDraining):
+		status = http.StatusServiceUnavailable
 	case errors.Is(err, ErrStoreFull):
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, ErrUnknownHandle):
@@ -444,11 +573,23 @@ func (s *Server) writeErr(w http.ResponseWriter, err error) {
 		status = http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		status = http.StatusServiceUnavailable
-	case errors.Is(err, pastix.ErrNotSPD),
-		errors.Is(err, pastix.ErrShape),
+	case errors.As(err, &px):
+		status = http.StatusUnprocessableEntity
+		resp.Code = "pivot_exhausted"
+		resp.PerturbedColumns = px.Columns
+		resp.Attempts = px.Attempts
+	case errors.As(err, &zp):
+		status = http.StatusUnprocessableEntity
+		resp.Code = "not_spd"
+		col := zp.Column
+		resp.Column = &col
+	case errors.Is(err, pastix.ErrNotSPD):
+		status = http.StatusUnprocessableEntity
+		resp.Code = "not_spd"
+	case errors.Is(err, pastix.ErrShape),
 		errors.Is(err, pastix.ErrPatternMismatch),
 		errors.Is(err, pastix.ErrBadOptions):
 		status = http.StatusBadRequest
 	}
-	s.writeJSON(w, status, errorResponse{Error: err.Error()})
+	s.writeJSON(w, status, resp)
 }

@@ -192,7 +192,7 @@ func (an *Analysis) FactorizeMatrixOptsCtx(ctx context.Context, pa *sparse.SymMa
 		if popts.Faults.Active() {
 			return nil, fmt.Errorf("solver: fault injection requires the message-passing runtime, not SharedMemory")
 		}
-		return FactorizeSharedCtx(ctx, pa, an.Sched, popts.Trace)
+		return FactorizeSharedCtx(ctx, pa, an.Sched, popts.Trace, popts.Pivot)
 	}
 	// Fault injection forces the message-passing runtime even at P == 1 so
 	// crash/stall schedules have a worker to act on.
@@ -200,7 +200,7 @@ func (an *Analysis) FactorizeMatrixOptsCtx(ctx context.Context, pa *sparse.SymMa
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		return FactorizeSeq(pa, an.Sym)
+		return FactorizeSeqPivot(pa, an.Sym, popts.Pivot)
 	}
 	f, _, err := FactorizeParStatsCtx(ctx, pa, an.Sched, popts)
 	return f, err

@@ -20,6 +20,11 @@ var (
 	// ErrShape reports a dimension mismatch between arguments (rhs length vs
 	// matrix order, panel shape, pattern mismatch).
 	ErrShape = errors.New("solver: dimension mismatch")
+	// ErrPivotExhausted reports that FactorizeRobust ran out of escalation
+	// attempts: even the largest ε_piv tried either failed to factorize or
+	// left a backward error that refinement could not pull under the target.
+	// The concrete error is a *PivotExhaustedError.
+	ErrPivotExhausted = errors.New("solver: static pivoting exhausted retries without an accurate factorization")
 )
 
 // ErrFaultBudget reports that a fault-injected run degraded past recovery:
@@ -70,6 +75,29 @@ func (e *ZeroPivotError) Error() string {
 
 // Is makes errors.Is(err, ErrNotSPD) succeed for ZeroPivotError values.
 func (e *ZeroPivotError) Is(target error) bool { return target == ErrNotSPD }
+
+// PivotExhaustedError is the concrete error behind ErrPivotExhausted: the
+// escalation state when FactorizeRobust gave up.
+type PivotExhaustedError struct {
+	Attempts      int     // factorization attempts made (first try + retries)
+	Epsilon       float64 // the last ε_piv tried
+	BackwardError float64 // probe backward error of the last completed factorization; 0 if none completed
+	Columns       []int   // perturbed columns of the last completed factorization
+	Err           error   // last factorization error when no attempt completed
+}
+
+func (e *PivotExhaustedError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("solver: static pivoting exhausted after %d attempts (last ε=%.3g): %v", e.Attempts, e.Epsilon, e.Err)
+	}
+	return fmt.Sprintf("solver: static pivoting exhausted after %d attempts (last ε=%.3g): backward error %.3g above target, %d column(s) perturbed",
+		e.Attempts, e.Epsilon, e.BackwardError, len(e.Columns))
+}
+
+// Is makes errors.Is(err, ErrPivotExhausted) succeed.
+func (e *PivotExhaustedError) Is(target error) bool { return target == ErrPivotExhausted }
+
+func (e *PivotExhaustedError) Unwrap() error { return e.Err }
 
 // wrapPivot converts a blas factorization failure of cell k (whose first
 // global column is colStart) into the typed solver error, translating the

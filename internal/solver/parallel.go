@@ -48,6 +48,11 @@ type ParOptions struct {
 	// with SharedMemory (there are no messages to corrupt and no isolated
 	// workers to crash there).
 	Faults *faults.Plan
+	// Pivot enables static pivoting: pivots below τ = Epsilon·‖A‖_max are
+	// substituted instead of aborting, and the factor carries a
+	// PerturbationReport. The report is deterministic and identical across
+	// the sequential, shared-memory and message-passing runtimes.
+	Pivot StaticPivot
 }
 
 // CommStats reports the communication volume of an executed parallel
@@ -174,11 +179,12 @@ func FactorizeParStatsCtx(ctx context.Context, a *sparse.SymMatrix, sch *sched.S
 		if popts.Faults.Active() {
 			return nil, CommStats{}, fmt.Errorf("solver: fault injection requires the message-passing runtime, not SharedMemory")
 		}
-		f, err := FactorizeSharedCtx(ctx, a, sch, popts.Trace)
+		f, err := FactorizeSharedCtx(ctx, a, sch, popts.Trace, popts.Pivot)
 		return f, CommStats{}, err
 	}
 	sym := sch.Sym()
 	P := sch.P
+	tau, normMax := pivotThreshold(popts.Pivot, a)
 	pr := buildProtocol(sch)
 	nAUBmsgs, sendTo, needF, needDiag := pr.nAUBmsgs, pr.sendTo, pr.needF, pr.needDiag
 
@@ -232,6 +238,7 @@ func FactorizeParStatsCtx(ctx context.Context, a *sparse.SymMatrix, sch *sched.S
 				done:     ctx.Done(),
 				rec:      popts.Trace,
 				inj:      inj,
+				tau:      tau,
 				aubBuf:   make(map[int]map[int][]float64),
 				aubIn:    make(map[int][]aubContrib),
 				aubRem:   make(map[int]int),
@@ -306,6 +313,19 @@ func FactorizeParStatsCtx(ctx context.Context, a *sparse.SymMatrix, sch *sched.S
 			copyCols(g.Data[k], stores[bp].Data[k], ld, off, off+sym.CB[k].Blocks[b].Rows(), w)
 		}
 	}
+	if popts.Pivot.Enabled() {
+		// Each diagonal task ran on exactly one processor (replay after a
+		// crash resumes past completed tasks), so concatenating the per-proc
+		// perturbation logs loses nothing and duplicates nothing; buildReport
+		// sorts by column, erasing the processor interleaving.
+		var perts []Perturbation
+		for p := 0; p < P; p++ {
+			if states[p] != nil {
+				perts = append(perts, states[p].perts...)
+			}
+		}
+		g.Pivots = buildReport(popts.Pivot, normMax, perts, g)
+	}
 	return g, stats, nil
 }
 
@@ -320,6 +340,12 @@ type procState struct {
 	done <-chan struct{}  // ctx.Done(); nil when uncancellable
 	rec  *trace.Recorder  // nil disables tracing
 	inj  *faults.Injector // nil disables fault injection
+	tau  float64          // static-pivot threshold; 0 disables pivoting
+
+	// perts logs this processor's static-pivot substitutions. It lives in the
+	// crash-surviving procState next to the completion log: replay skips
+	// completed diagonal tasks, so no substitution is ever recorded twice.
+	perts []Perturbation
 
 	// Completion log for crash recovery: assembly ran, and the index into
 	// ByProc[p] of the next task to execute. A restarted worker replays from
@@ -659,7 +685,7 @@ func (st *procState) diagRef(k int) ([]float64, int) {
 
 func (st *procState) execComp1D(t *sched.Task) error {
 	k := t.Cell
-	if err := st.f.FactorDiag(k); err != nil {
+	if err := st.factorDiag(k); err != nil {
 		return err
 	}
 	st.f.SolvePanel(k)
@@ -690,9 +716,26 @@ func (st *procState) execComp1D(t *sched.Task) error {
 	return nil
 }
 
+// factorDiag runs the (possibly pivoted) diagonal factorization of cell k,
+// logging any substitutions into the processor's perturbation log and the
+// trace.
+func (st *procState) factorDiag(k int) error {
+	ps, err := st.f.FactorDiagStatic(k, st.tau)
+	if err != nil {
+		return err
+	}
+	st.perts = append(st.perts, ps...)
+	if st.rec != nil {
+		for _, p := range ps {
+			st.rec.Pivot(st.p, p.Column)
+		}
+	}
+	return nil
+}
+
 func (st *procState) execFactor(t *sched.Task) error {
 	k := t.Cell
-	if err := st.f.FactorDiag(k); err != nil {
+	if err := st.factorDiag(k); err != nil {
 		return err
 	}
 	if dsts := st.sendTo[t.ID]; len(dsts) > 0 {

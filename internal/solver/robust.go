@@ -1,0 +1,109 @@
+package solver
+
+import (
+	"context"
+	"errors"
+
+	"github.com/pastix-go/pastix/internal/sparse"
+)
+
+// RobustStats reports what FactorizeRobust did to obtain an acceptable
+// factorization.
+type RobustStats struct {
+	// Attempts is how many factorizations ran (1 = first try sufficed).
+	Attempts int `json:"attempts"`
+	// Epsilon is the ε_piv of the accepted (or last attempted) factorization.
+	Epsilon float64 `json:"epsilon"`
+	// BackwardError is the probe backward error after refinement; 0 when the
+	// accepted factorization needed no perturbation (exact to working
+	// accuracy, no probe run).
+	BackwardError float64 `json:"backward_error"`
+	// RefineIterations is the refinement sweeps the probe needed.
+	RefineIterations int `json:"refine_iterations"`
+	// PerturbedColumns counts the static-pivot substitutions of the accepted
+	// factorization.
+	PerturbedColumns int `json:"perturbed_columns"`
+}
+
+// FactorizeRobust factorizes pa with escalating static pivoting: the first
+// attempt runs with popts.Pivot as configured (ε = 0 means unpivoted), and
+// each retry multiplies ε_piv by 100 (starting from DefaultPivotEpsilon when
+// unset). An attempt is accepted when it completes and a probe solve —
+// against a synthetic right-hand side with known solution — refines to a
+// componentwise backward error ≤ refineTol (≤ 0 selects DefaultRefineTol).
+// Unperturbed factorizations are accepted without a probe. After
+// popts.Pivot.MaxRetries retries (0 = default 3) the ErrPivotExhausted-typed
+// *PivotExhaustedError reports the final state.
+func (an *Analysis) FactorizeRobust(ctx context.Context, pa *sparse.SymMatrix, popts ParOptions, refineTol float64) (*Factors, RobustStats, error) {
+	maxRetries := popts.Pivot.MaxRetries
+	if maxRetries <= 0 {
+		maxRetries = defaultPivotRetries
+	}
+	eps := popts.Pivot.Epsilon
+	var stats RobustStats
+	var lastErr error
+	var lastCols []int
+	for attempt := 0; ; attempt++ {
+		stats.Attempts = attempt + 1
+		stats.Epsilon = eps
+		cur := popts
+		cur.Pivot = StaticPivot{Epsilon: eps}
+		f, err := an.FactorizeMatrixOptsCtx(ctx, pa, cur)
+		switch {
+		case err == nil:
+			if f.Pivots == nil || len(f.Pivots.Perturbed) == 0 {
+				// Nothing was substituted: this is the exact unpivoted factor.
+				stats.BackwardError = 0
+				stats.RefineIterations = 0
+				stats.PerturbedColumns = 0
+				return f, stats, nil
+			}
+			rs := an.probe(f, pa, refineTol)
+			stats.BackwardError = rs.BackwardError
+			stats.RefineIterations = rs.Iterations
+			stats.PerturbedColumns = len(f.Pivots.Perturbed)
+			if rs.Converged {
+				return f, stats, nil
+			}
+			lastErr, lastCols = nil, f.Pivots.Columns()
+		case errors.Is(err, ErrNotSPD):
+			lastErr, lastCols = err, nil
+			stats.BackwardError, stats.RefineIterations, stats.PerturbedColumns = 0, 0, 0
+		default:
+			// Cancellation, shape errors, fault budgets: escalating ε cannot
+			// help, surface immediately.
+			return nil, stats, err
+		}
+		if attempt >= maxRetries {
+			return nil, stats, &PivotExhaustedError{
+				Attempts:      stats.Attempts,
+				Epsilon:       eps,
+				BackwardError: stats.BackwardError,
+				Columns:       lastCols,
+				Err:           lastErr,
+			}
+		}
+		if eps <= 0 {
+			eps = DefaultPivotEpsilon
+		} else {
+			eps *= pivotEscalation
+		}
+	}
+}
+
+// probe measures the solution quality of a perturbed factor: solve against a
+// right-hand side manufactured from a fixed reference solution and refine
+// adaptively. The reference is deterministic, so probe quality is
+// reproducible across runs and runtimes.
+func (an *Analysis) probe(f *Factors, pa *sparse.SymMatrix, refineTol float64) RefineStats {
+	n := pa.N
+	xref := make([]float64, n)
+	for i := range xref {
+		xref[i] = 1 + float64(i%7)/7
+	}
+	b := make([]float64, n)
+	pa.MatVec(xref, b)
+	x := f.Solve(b)
+	_, rs := f.RefineAdaptive(pa, b, x, refineTol, 0)
+	return rs
+}

@@ -70,16 +70,28 @@ func applyCellUpdates(f *Factors, k int, invd []float64) error {
 // factorization — the reference the parallel solver must match bit-for-bit
 // in structure and to rounding in values.
 func FactorizeSeq(a *sparse.SymMatrix, sym *symbolic.Symbol) (*Factors, error) {
+	return FactorizeSeqPivot(a, sym, StaticPivot{})
+}
+
+// FactorizeSeqPivot is FactorizeSeq with static pivoting: pivots below
+// τ = sp.Epsilon·‖A‖_max are substituted instead of aborting, and the
+// resulting report is attached to the factor (Factors.Pivots). The zero
+// StaticPivot reproduces FactorizeSeq bit for bit.
+func FactorizeSeqPivot(a *sparse.SymMatrix, sym *symbolic.Symbol, sp StaticPivot) (*Factors, error) {
+	tau, normMax := pivotThreshold(sp, a)
 	f := NewFactors(sym)
 	for k := range sym.CB {
 		if err := f.AssembleCell(a, k); err != nil {
 			return nil, err
 		}
 	}
+	var perts []Perturbation
 	for k := range sym.CB {
-		if err := f.FactorDiag(k); err != nil {
+		ps, err := f.FactorDiagStatic(k, tau)
+		if err != nil {
 			return nil, err
 		}
+		perts = append(perts, ps...)
 		f.SolvePanel(k)
 		d := f.Diag(k)
 		invd := make([]float64, len(d))
@@ -90,6 +102,9 @@ func FactorizeSeq(a *sparse.SymMatrix, sym *symbolic.Symbol) (*Factors, error) {
 			return nil, err
 		}
 		f.ScalePanel(k, d)
+	}
+	if sp.Enabled() {
+		f.Pivots = buildReport(sp, normMax, perts, f)
 	}
 	return f, nil
 }

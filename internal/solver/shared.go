@@ -47,6 +47,13 @@ type sharedRun struct {
 	locks []sync.Mutex    // per task: serializes contributions into its region
 	invd  [][]float64     // per cell: 1/D, published by the FACTOR task
 	rec   *trace.Recorder // nil disables tracing
+	tau   float64         // static-pivot threshold; 0 disables pivoting
+
+	// Static-pivot substitutions are rare events on the factorization's
+	// critical path of never, so a plain mutex-guarded log is fine; the
+	// report sorts by column, erasing the nondeterministic arrival order.
+	pivotMu sync.Mutex
+	perts   []Perturbation
 
 	ctx       context.Context
 	ctxDone   <-chan struct{} // ctx.Done(); nil when uncancellable
@@ -99,19 +106,21 @@ func (sr *sharedRun) done(id int) {
 // dependency structure of the static schedule, executed zero-copy. The
 // result equals FactorizeSeq to rounding and needs no gather step.
 func FactorizeShared(a *sparse.SymMatrix, sch *sched.Schedule) (*Factors, error) {
-	return FactorizeSharedCtx(context.Background(), a, sch, nil)
+	return FactorizeSharedCtx(context.Background(), a, sch, nil, StaticPivot{})
 }
 
-// FactorizeSharedCtx is FactorizeShared under a context and an optional
-// execution-trace recorder. Cancelling ctx aborts the run: processors
-// blocked on a task gate are woken immediately, compute-bound processors
-// observe the cancellation between tasks, and ctx.Err() is returned once
-// every worker goroutine has unwound (none leak). A nil recorder disables
-// tracing at the cost of one pointer comparison per task.
-func FactorizeSharedCtx(ctx context.Context, a *sparse.SymMatrix, sch *sched.Schedule, rec *trace.Recorder) (*Factors, error) {
+// FactorizeSharedCtx is FactorizeShared under a context, an optional
+// execution-trace recorder and an optional static-pivot configuration.
+// Cancelling ctx aborts the run: processors blocked on a task gate are woken
+// immediately, compute-bound processors observe the cancellation between
+// tasks, and ctx.Err() is returned once every worker goroutine has unwound
+// (none leak). A nil recorder disables tracing at the cost of one pointer
+// comparison per task; the zero StaticPivot disables pivoting.
+func FactorizeSharedCtx(ctx context.Context, a *sparse.SymMatrix, sch *sched.Schedule, rec *trace.Recorder, sp StaticPivot) (*Factors, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	tau, normMax := pivotThreshold(sp, a)
 	sym := sch.Sym()
 	sr := &sharedRun{
 		sch:     sch,
@@ -120,6 +129,7 @@ func FactorizeSharedCtx(ctx context.Context, a *sparse.SymMatrix, sch *sched.Sch
 		locks:   make([]sync.Mutex, len(sch.Tasks)),
 		invd:    make([][]float64, sym.NumCB()),
 		rec:     rec,
+		tau:     tau,
 		ctx:     ctx,
 		ctxDone: ctx.Done(),
 		abort:   make(chan struct{}),
@@ -146,6 +156,9 @@ func FactorizeSharedCtx(ctx context.Context, a *sparse.SymMatrix, sch *sched.Sch
 	// reader has finished; the phase barrier guarantees that).
 	if err := sr.runPhase(sr.scale); err != nil {
 		return nil, err
+	}
+	if sp.Enabled() {
+		sr.f.Pivots = buildReport(sp, normMax, sr.perts, sr.f)
 	}
 	return sr.f, nil
 }
@@ -222,9 +235,9 @@ func (sr *sharedRun) execute(p int) error {
 		var err error
 		switch t.Type {
 		case sched.Comp1D:
-			err = sr.execComp1D(t)
+			err = sr.execComp1D(p, t)
 		case sched.Factor:
-			err = sr.execFactor(t)
+			err = sr.execFactor(p, t)
 		case sched.BDiv:
 			err = sr.execBDiv(t)
 		case sched.BMod:
@@ -306,11 +319,31 @@ func (sr *sharedRun) contribute(k, s, t int, ws []float64, lda int, wt []float64
 	return nil
 }
 
-func (sr *sharedRun) execComp1D(t *sched.Task) error {
+// factorDiag runs the (possibly pivoted) diagonal factorization of cell k on
+// processor p, logging substitutions into the shared pivot log and the trace.
+func (sr *sharedRun) factorDiag(p, k int) error {
+	ps, err := sr.f.FactorDiagStatic(k, sr.tau)
+	if err != nil {
+		return err
+	}
+	if len(ps) > 0 {
+		sr.pivotMu.Lock()
+		sr.perts = append(sr.perts, ps...)
+		sr.pivotMu.Unlock()
+		if sr.rec != nil {
+			for _, pe := range ps {
+				sr.rec.Pivot(p, pe.Column)
+			}
+		}
+	}
+	return nil
+}
+
+func (sr *sharedRun) execComp1D(p int, t *sched.Task) error {
 	k := t.Cell
 	// The gate admitted us, so every contribution into this cell has been
 	// subtracted in place already; the cell is ready to factor.
-	if err := sr.f.FactorDiag(k); err != nil {
+	if err := sr.factorDiag(p, k); err != nil {
 		return err
 	}
 	sr.f.SolvePanel(k)
@@ -337,9 +370,9 @@ func (sr *sharedRun) execComp1D(t *sched.Task) error {
 	return nil
 }
 
-func (sr *sharedRun) execFactor(t *sched.Task) error {
+func (sr *sharedRun) execFactor(p int, t *sched.Task) error {
 	k := t.Cell
-	if err := sr.f.FactorDiag(k); err != nil {
+	if err := sr.factorDiag(p, k); err != nil {
 		return err
 	}
 	// Publish 1/D for the BMOD tasks of this cell (they observe it through

@@ -23,6 +23,11 @@ type Factors struct {
 	Data     [][]float64
 	LD       []int
 	BlockOff [][]int
+	// Pivots is the static-pivoting report of the factorization that produced
+	// this factor; nil when pivoting was disabled. Present (with an empty
+	// Perturbed list) whenever pivoting was enabled, even if no pivot needed
+	// substitution.
+	Pivots *PerturbationReport
 }
 
 // NewFactors allocates zeroed storage for every column block of sym.
@@ -187,11 +192,28 @@ func (f *Factors) NNZ() int64 {
 // breakdown is reported as a *ZeroPivotError (matching ErrNotSPD) with the
 // global column.
 func (f *Factors) FactorDiag(k int) error {
-	w := f.Sym.CB[k].Width()
-	if err := blas.LDLT(w, f.Data[k], f.LD[k]); err != nil {
-		return f.pivotError(k, err)
+	_, err := f.FactorDiagStatic(k, 0)
+	return err
+}
+
+// FactorDiagStatic is FactorDiag with a static-pivot threshold: pivots with
+// |d| < tau are substituted by sign(d)·tau and returned as Perturbations
+// carrying global (permuted-system) column indices. tau <= 0 reproduces
+// FactorDiag exactly.
+func (f *Factors) FactorDiagStatic(k int, tau float64) ([]Perturbation, error) {
+	cb := &f.Sym.CB[k]
+	ps, err := blas.LDLTStatic(cb.Width(), f.Data[k], f.LD[k], tau)
+	if err != nil {
+		return nil, f.pivotError(k, err)
 	}
-	return nil
+	if len(ps) == 0 {
+		return nil, nil
+	}
+	perts := make([]Perturbation, len(ps))
+	for i, p := range ps {
+		perts[i] = Perturbation{Column: cb.Cols[0] + p.Index, Original: p.Original, Used: p.Used}
+	}
+	return perts, nil
 }
 
 // SolvePanel computes W = A_panel · L_kk^{-ᵀ} in place over the whole

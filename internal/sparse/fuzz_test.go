@@ -47,3 +47,62 @@ func FuzzReadHB(f *testing.F) {
 		}
 	})
 }
+
+// FuzzCSR feeds raw bytes decoded as a CSC skeleton straight into the matrix
+// invariants and the pattern-level helpers: Validate must reject (never
+// panic on) arbitrary structure, and anything it accepts must survive
+// fingerprinting, adjacency extraction, the norms and a mat-vec.
+func FuzzCSR(f *testing.F) {
+	f.Add([]byte{2, 0, 2, 3, 0, 1, 1, 10, 20, 30})
+	f.Add([]byte{1, 0, 1, 0, 5})
+	f.Add([]byte{3, 0, 2, 1, 9})
+	f.Add([]byte{0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		n := int(data[0] % 8)
+		data = data[1:]
+		next := func() int {
+			if len(data) == 0 {
+				return 0
+			}
+			v := int(int8(data[0]))
+			data = data[1:]
+			return v
+		}
+		a := &SymMatrix{N: n, ColPtr: make([]int, n+1)}
+		for i := range a.ColPtr {
+			a.ColPtr[i] = next()
+		}
+		nnz := 0
+		if n > 0 && a.ColPtr[n] >= 0 && a.ColPtr[n] <= 64 {
+			nnz = a.ColPtr[n]
+		}
+		a.RowIdx = make([]int, nnz)
+		a.Val = make([]float64, nnz)
+		for i := 0; i < nnz; i++ {
+			a.RowIdx[i] = next()
+			a.Val[i] = float64(next())
+		}
+		if err := a.Validate(); err != nil {
+			return
+		}
+		if a.PatternFingerprint() == "" {
+			t.Fatal("empty fingerprint for a valid matrix")
+		}
+		ptr, adj := a.AdjacencyCSR()
+		if len(ptr) != n+1 || len(adj) != ptr[n] {
+			t.Fatalf("adjacency inconsistent: %d ptrs, %d adj", len(ptr), len(adj))
+		}
+		if n1, mx := a.Norm1(), a.NormMax(); n1 < mx {
+			t.Fatalf("‖A‖₁ = %g < ‖A‖_max = %g", n1, mx)
+		}
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = 1
+		}
+		a.MatVec(x, y)
+	})
+}

@@ -42,6 +42,9 @@ func (a *SymMatrix) Validate() error {
 	}
 	for j := 0; j < a.N; j++ {
 		lo, hi := a.ColPtr[j], a.ColPtr[j+1]
+		if lo < 0 || hi > len(a.RowIdx) {
+			return fmt.Errorf("sparse: column %d pointers [%d,%d) out of range", j, lo, hi)
+		}
 		if lo >= hi {
 			return fmt.Errorf("sparse: column %d empty (diagonal required)", j)
 		}
@@ -165,6 +168,20 @@ func (a *SymMatrix) Norm1() float64 {
 	for _, s := range sums {
 		if s > mx {
 			mx = s
+		}
+	}
+	return mx
+}
+
+// NormMax returns the max-norm ‖A‖_max = max |a_ij| over the stored entries.
+// It is invariant under symmetric permutation, which makes it the natural
+// scale for the static-pivoting threshold τ = ε_piv·‖A‖_max: the same τ is
+// obtained whether computed from the original or the permuted matrix.
+func (a *SymMatrix) NormMax() float64 {
+	mx := 0.0
+	for _, v := range a.Val {
+		if av := math.Abs(v); av > mx {
+			mx = av
 		}
 	}
 	return mx

@@ -54,6 +54,8 @@ func (e *Event) name() string {
 		return "recv " + msgName(e.Aux)
 	case KindSpill:
 		return "AUB spill"
+	case KindPivot:
+		return fmt.Sprintf("pivot:perturb col %d", e.Task)
 	case KindFault:
 		if int(e.Aux) < len(faultNames) {
 			return "fault:" + faultNames[e.Aux]
@@ -76,6 +78,8 @@ func (e *Event) category() string {
 		return "comm"
 	case KindSpill:
 		return "memory"
+	case KindPivot:
+		return "pivot"
 	case KindFault:
 		return "fault"
 	case KindPhase:

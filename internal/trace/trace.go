@@ -46,6 +46,10 @@ const (
 	// an injected drop/duplicate/delay, a worker crash or stall, a resend by
 	// the retry machinery, or a supervisor restart. Aux holds the Fault* id.
 	KindFault
+	// KindPivot is a static-pivot perturbation (instant): the numerical
+	// factorization substituted a below-threshold diagonal pivot. Task holds
+	// the global column (permuted ordering), Cell the column block.
+	KindPivot
 )
 
 // Fault identifiers for KindFault events (stored in the Aux field).
@@ -174,6 +178,39 @@ func (r *Recorder) Spill(p, dt int, bytes int64) {
 		Proc: int32(p), Kind: KindSpill, Task: int32(dt),
 		Cell: -1, S: -1, T: -1, Start: at, End: at, Bytes: bytes,
 	})
+}
+
+// Pivot records a static-pivot perturbation on processor p: the diagonal
+// pivot of global column col (permuted ordering) fell below the threshold
+// and was substituted (instant).
+func (r *Recorder) Pivot(p, col int) {
+	at := r.Now()
+	b := r.procs[p]
+	b.ev = append(b.ev, Event{
+		Proc: int32(p), Kind: KindPivot, Task: int32(col),
+		Cell: -1, S: -1, T: -1, Start: at, End: at,
+	})
+}
+
+// KindCount counts recorded events of kind k across every processor buffer
+// and the auxiliary buffer. Call only after the traced run finished.
+func (r *Recorder) KindCount(k Kind) int64 {
+	var n int64
+	for _, b := range r.procs {
+		for i := range b.ev {
+			if b.ev[i].Kind == k {
+				n++
+			}
+		}
+	}
+	r.auxMu.Lock()
+	for i := range r.aux {
+		if r.aux[i].Kind == k {
+			n++
+		}
+	}
+	r.auxMu.Unlock()
+	return n
 }
 
 // Phase records a named runtime phase interval on processor p.

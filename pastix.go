@@ -129,7 +129,43 @@ type Options struct {
 	// Nil or an inactive plan leaves the fault-free fast path untouched. An
 	// active plan is incompatible with SharedMemory.
 	Faults *FaultPlan
+	// StaticPivot enables static pivoting in the numerical factorization:
+	// a diagonal pivot with |d| < Epsilon·‖A‖_max is replaced by
+	// sign(d)·Epsilon·‖A‖_max and recorded in the factor's
+	// PerturbationReport instead of aborting with ErrNotSPD. Epsilon 0 (the
+	// default) keeps the historical unpivoted kernels bit for bit; MaxRetries
+	// bounds FactorizeRobust's escalation (0 = default 3). The report is
+	// identical across the sequential, shared-memory and message-passing
+	// runtimes.
+	StaticPivot StaticPivotOptions
+	// RefineTol is the componentwise backward-error target
+	// ‖Ax−b‖∞/(‖A‖∞‖x‖∞+‖b‖∞) of adaptive iterative refinement
+	// (SolveRefinedStats, RefineSolution, FactorizeRobust). 0 selects the
+	// default 1e-10.
+	RefineTol float64
 }
+
+// StaticPivotOptions configures static pivoting (Options.StaticPivot):
+// Epsilon is ε_piv in τ = ε_piv·‖A‖_max, MaxRetries bounds FactorizeRobust's
+// ε escalation.
+type StaticPivotOptions = solver.StaticPivot
+
+// Perturbation records one static-pivot substitution (column in the permuted
+// system, original pivot, substituted value).
+type Perturbation = solver.Perturbation
+
+// PerturbationReport summarizes the static pivoting of one factorization:
+// threshold, substituted columns, and the pivot-growth diagnostic. Identical
+// across runtimes for the same matrix and ε_piv.
+type PerturbationReport = solver.PerturbationReport
+
+// RefineStats reports an adaptive refinement run: sweeps executed, backward
+// error reached, and its full (non-increasing) trajectory.
+type RefineStats = solver.RefineStats
+
+// RobustStats reports a FactorizeRobust escalation: attempts, the accepted
+// ε_piv, and the probe backward error after refinement.
+type RobustStats = solver.RobustStats
 
 // Validate checks the options for consistency. The zero value is always
 // valid (every field has a documented default: Processors 1, BlockSize 64,
@@ -162,21 +198,52 @@ func (o Options) Validate() error {
 			return fmt.Errorf("%w: fault injection requires the message-passing runtime, not SharedMemory", ErrBadOptions)
 		}
 	}
+	if o.StaticPivot.Epsilon < 0 || o.StaticPivot.Epsilon >= 1 {
+		return fmt.Errorf("%w: StaticPivot.Epsilon %g outside [0,1)", ErrBadOptions, o.StaticPivot.Epsilon)
+	}
+	if o.StaticPivot.MaxRetries < 0 {
+		return fmt.Errorf("%w: StaticPivot.MaxRetries %d is negative", ErrBadOptions, o.StaticPivot.MaxRetries)
+	}
+	if o.RefineTol < 0 {
+		return fmt.Errorf("%w: RefineTol %g is negative", ErrBadOptions, o.RefineTol)
+	}
 	return nil
 }
 
 // Analysis is the reusable result of the pre-processing phases. All methods
 // are safe for concurrent use once constructed.
 type Analysis struct {
-	inner  *solver.Analysis
-	shared bool       // numerical phases use the shared-memory runtime
-	faults *FaultPlan // fault injection for the numerical phases (nil = off)
+	inner     *solver.Analysis
+	shared    bool               // numerical phases use the shared-memory runtime
+	faults    *FaultPlan         // fault injection for the numerical phases (nil = off)
+	pivot     StaticPivotOptions // static pivoting for the numerical phases
+	refineTol float64            // adaptive-refinement target; 0 = default
+}
+
+// parOpts builds the runtime options every numerical phase of this analysis
+// shares.
+func (an *Analysis) parOpts() solver.ParOptions {
+	return solver.ParOptions{SharedMemory: an.shared, Faults: an.faults, Pivot: an.pivot}
 }
 
 // Factor holds the numerical factorization L·D·Lᵀ.
 type Factor struct {
 	inner *solver.Factors
 	an    *solver.Analysis
+	// pa is the permuted matrix this factor was actually computed from —
+	// an.A for Factorize, the request's values for FactorizeValues — so
+	// refinement always iterates against the right system.
+	pa *sparse.SymMatrix
+}
+
+// Perturbations returns the static-pivoting report of this factorization:
+// nil when pivoting was disabled, otherwise the (possibly empty) sorted list
+// of substituted columns with threshold and pivot-growth diagnostics.
+func (f *Factor) Perturbations() *PerturbationReport {
+	if f == nil || f.inner == nil {
+		return nil
+	}
+	return f.inner.Pivots
 }
 
 // Analyze orders the matrix, computes the block symbolic factorization, and
@@ -229,7 +296,7 @@ func AnalyzeContext(ctx context.Context, a *Matrix, opts Options) (*Analysis, er
 	if err != nil {
 		return nil, err
 	}
-	an := &Analysis{inner: inner, shared: opts.SharedMemory}
+	an := &Analysis{inner: inner, shared: opts.SharedMemory, pivot: opts.StaticPivot, refineTol: opts.RefineTol}
 	if opts.Faults.Active() {
 		an.faults = opts.Faults
 	}
@@ -270,11 +337,11 @@ func (an *Analysis) Factorize() (*Factor, error) {
 // returns — and ctx.Err() (context.Canceled or context.DeadlineExceeded)
 // is reported.
 func (an *Analysis) FactorizeContext(ctx context.Context) (*Factor, error) {
-	f, err := an.inner.FactorizeOptsCtx(ctx, solver.ParOptions{SharedMemory: an.shared, Faults: an.faults})
+	f, err := an.inner.FactorizeOptsCtx(ctx, an.parOpts())
 	if err != nil {
 		return nil, err
 	}
-	return &Factor{inner: f, an: an.inner}, nil
+	return &Factor{inner: f, an: an.inner, pa: an.inner.A}, nil
 }
 
 // Solve returns x with A·x = b (original ordering; b is not modified).
@@ -382,11 +449,11 @@ func (an *Analysis) FactorizeValues(ctx context.Context, a *Matrix) (*Factor, er
 	if err != nil {
 		return nil, err
 	}
-	f, err := an.inner.FactorizeMatrixOptsCtx(ctx, pa, solver.ParOptions{SharedMemory: an.shared, Faults: an.faults})
+	f, err := an.inner.FactorizeMatrixOptsCtx(ctx, pa, an.parOpts())
 	if err != nil {
 		return nil, err
 	}
-	return &Factor{inner: f, an: an.inner}, nil
+	return &Factor{inner: f, an: an.inner, pa: pa}, nil
 }
 
 // permuteSamePattern permutes a into the analysis ordering after verifying
@@ -450,39 +517,100 @@ func (an *Analysis) SolveParallelManyContext(ctx context.Context, f *Factor, b [
 }
 
 // SolveRefined solves A·x = b and applies up to iters steps of iterative
-// refinement, stopping early once the scaled residual reaches refinement
-// stagnation (no further improvement).
+// refinement, stopping early on convergence or stagnation.
+//
+// Deprecated: SolveRefined discards the convergence information and takes a
+// bare iteration count. Use SolveRefinedStats, which iterates adaptively
+// until Options.RefineTol is met or the backward error stagnates and reports
+// the full trajectory. This wrapper remains as SolveRefinedStats capped at
+// iters sweeps.
 func (an *Analysis) SolveRefined(f *Factor, b []float64, iters int) ([]float64, error) {
 	x, err := an.Solve(f, b)
+	if err != nil || iters <= 0 {
+		return x, err
+	}
+	x, _, err = an.refineOriginal(f, b, x, iters)
+	return x, err
+}
+
+// SolveRefinedStats solves A·x = b and applies adaptive iterative
+// refinement: correction sweeps run until the componentwise backward error
+// ‖Ax−b‖∞/(‖A‖∞‖x‖∞+‖b‖∞) meets Options.RefineTol (default 1e-10) or
+// stagnates. The returned RefineStats carries the sweep count and the
+// non-increasing backward-error trajectory.
+func (an *Analysis) SolveRefinedStats(f *Factor, b []float64) ([]float64, RefineStats, error) {
+	x, err := an.Solve(f, b)
 	if err != nil {
-		return nil, err
+		return nil, RefineStats{}, err
 	}
-	if iters <= 0 {
-		return x, nil
+	return an.refineOriginal(f, b, x, 0)
+}
+
+// RefineSolution applies adaptive iterative refinement to an existing
+// solution x of A·x = b (both in the original ordering), improving it in
+// place of a fresh solve — the repair step degraded-mode serving runs on
+// solutions of perturbed factors. Semantics match SolveRefinedStats.
+func (an *Analysis) RefineSolution(f *Factor, b, x []float64) ([]float64, RefineStats, error) {
+	if f == nil || f.an != an.inner {
+		return nil, RefineStats{}, ErrFactorMismatch
 	}
-	// Work in the permuted system to reuse the internal Refine step.
+	n := an.inner.A.N
+	if len(b) != n || len(x) != n {
+		return nil, RefineStats{}, fmt.Errorf("pastix: rhs/solution length %d/%d, matrix order %d: %w", len(b), len(x), n, ErrShape)
+	}
+	return an.refineOriginal(f, b, x, 0)
+}
+
+// refineOriginal runs adaptive refinement in the permuted system against the
+// matrix f was actually factored from, permuting b/x in and the improved
+// solution back out. maxIter <= 0 uses the adaptive default.
+func (an *Analysis) refineOriginal(f *Factor, b, x []float64, maxIter int) ([]float64, RefineStats, error) {
+	pa := f.pa
+	if pa == nil {
+		pa = an.inner.A
+	}
 	pb := make([]float64, len(b))
-	for newI, old := range an.inner.Perm {
-		pb[newI] = b[old]
-	}
 	px := make([]float64, len(x))
 	for newI, old := range an.inner.Perm {
+		pb[newI] = b[old]
 		px[newI] = x[old]
 	}
-	res := sparse.Residual(an.inner.A, px, pb)
-	for i := 0; i < iters; i++ {
-		nx := f.inner.Refine(an.inner.A, pb, px)
-		nres := sparse.Residual(an.inner.A, nx, pb)
-		if nres >= res {
-			break
-		}
-		px, res = nx, nres
-	}
+	px, stats := f.inner.RefineAdaptive(pa, pb, px, an.refineTol, maxIter)
 	out := make([]float64, len(x))
 	for newI, old := range an.inner.Perm {
 		out[old] = px[newI]
 	}
-	return out, nil
+	return out, stats, nil
+}
+
+// FactorizeRobust is Factorize with escalating static pivoting: the first
+// attempt runs with Options.StaticPivot as configured (unpivoted when
+// Epsilon is 0); if factorization breaks down (ErrNotSPD) or a probe solve
+// cannot be refined to Options.RefineTol, it retries with ε_piv escalated
+// ×100 (starting from 1e-12), up to StaticPivot.MaxRetries times (0 =
+// default 3). On exhaustion the error matches ErrPivotExhausted and carries
+// the final state.
+func (an *Analysis) FactorizeRobust(ctx context.Context) (*Factor, RobustStats, error) {
+	f, rs, err := an.inner.FactorizeRobust(ctx, an.inner.A, an.parOpts(), an.refineTol)
+	if err != nil {
+		return nil, rs, err
+	}
+	return &Factor{inner: f, an: an.inner, pa: an.inner.A}, rs, nil
+}
+
+// FactorizeValuesRobust is FactorizeRobust for a matrix sharing the analysed
+// sparsity pattern (see FactorizeValues): the escalation runs against the
+// request's values, not the analysed ones.
+func (an *Analysis) FactorizeValuesRobust(ctx context.Context, a *Matrix) (*Factor, RobustStats, error) {
+	pa, err := an.permuteSamePattern(a)
+	if err != nil {
+		return nil, RobustStats{}, err
+	}
+	f, rs, err := an.inner.FactorizeRobust(ctx, pa, an.parOpts(), an.refineTol)
+	if err != nil {
+		return nil, rs, err
+	}
+	return &Factor{inner: f, an: an.inner, pa: pa}, rs, nil
 }
 
 // Stats summarises the analysis for reporting.

@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"github.com/pastix-go/pastix/internal/sched"
-	"github.com/pastix-go/pastix/internal/solver"
 	"github.com/pastix-go/pastix/internal/trace"
 )
 
@@ -58,11 +57,13 @@ func (an *Analysis) factorizeTraced(ctx context.Context, pa *Matrix, topts Trace
 		cap = 4*len(sch.Tasks)/sch.P + 64
 	}
 	rec := trace.New(sch.P, cap)
-	f, err := an.inner.FactorizeMatrixOptsCtx(ctx, pa, solver.ParOptions{SharedMemory: an.shared, Trace: rec, Faults: an.faults})
+	popts := an.parOpts()
+	popts.Trace = rec
+	f, err := an.inner.FactorizeMatrixOptsCtx(ctx, pa, popts)
 	if err != nil {
 		return nil, nil, err
 	}
-	return &Factor{inner: f, an: an.inner}, &Trace{rec: rec, sch: sch}, nil
+	return &Factor{inner: f, an: an.inner, pa: pa}, &Trace{rec: rec, sch: sch}, nil
 }
 
 // SolveParallelTraced is SolveParallelContext recording the solve's phase
@@ -137,6 +138,10 @@ type TraceSummary struct {
 	FaultEvents int64
 	Resends     int64
 	Restarts    int64
+	// Perturbations counts the static-pivot substitutions recorded during the
+	// traced factorization (KindPivot instants; 0 unless Options.StaticPivot
+	// is enabled and the matrix needed them).
+	Perturbations int64
 }
 
 // Summary computes the divergence digest. It fails if the trace does not
@@ -171,5 +176,6 @@ func (t *Trace) Summary() (TraceSummary, error) {
 			ts.Restarts = n
 		}
 	}
+	ts.Perturbations = t.rec.KindCount(trace.KindPivot)
 	return ts, nil
 }
