@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet fmt-check check chaos numstress fuzz serve-smoke ci
+.PHONY: all build test race bench vet fmt-check check chaos numstress dynstress fuzz serve-smoke ci
 
 all: ci
 
@@ -51,10 +51,23 @@ numstress:
 	$(GO) test -race -timeout 300s -run 'NumStress|GradedPivot|PerturbationReport|FactorizeRobust|Refine|Pivot' \
 		./internal/solver ./internal/gen ./internal/blas .
 
-# Short coverage-guided fuzz pass over the sparse-matrix invariants and the
-# file parsers (10s each keeps CI bounded; raise -fuzztime for a real hunt).
+# Dynamic-runtime stress soak: the work-stealing executor's unit and
+# steal-storm suites plus the cross-runtime conformance tests (every
+# generator × every runtime, dynamic bitwise-identical to shared across
+# seeds) under the race detector, repeated so rare steal interleavings get a
+# chance to fire.
+dynstress:
+	$(GO) test -race -timeout 300s -count=3 ./internal/dynsched
+	$(GO) test -race -timeout 300s -count=2 \
+		-run 'RuntimeConformance|DynamicShared|DynamicSteal|DynamicTrace|DynamicRejects|DynamicHonors' \
+		./internal/solver
+
+# Short coverage-guided fuzz pass over the sparse-matrix invariants, the
+# file parsers and the task-DAG executor (10s each keeps CI bounded; raise
+# -fuzztime for a real hunt).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzCSR -fuzztime 10s ./internal/sparse
+	$(GO) test -run '^$$' -fuzz FuzzScheduleDAG -fuzztime 10s ./internal/dynsched
 
 check: build vet test race
 
@@ -66,6 +79,6 @@ serve-smoke:
 	$(GO) run ./cmd/pastix-serve -smoke
 
 # The CI entry point (and default target): build, vet+gofmt, tests, race,
-# the chaos and numerical-stress soaks, a short fuzz pass, then the serving
-# smoke test.
-ci: build vet test race chaos numstress fuzz serve-smoke
+# the chaos, numerical-stress and dynamic-runtime soaks, a short fuzz pass,
+# then the serving smoke test.
+ci: build vet test race chaos numstress dynstress fuzz serve-smoke

@@ -55,6 +55,20 @@ func TestPublicChaosOptionErrors(t *testing.T) {
 	if _, err := Analyze(a, Options{Processors: 2, SharedMemory: true, Faults: &FaultPlan{}}); err != nil {
 		t.Fatal(err)
 	}
+	// Chaos interplay with the work-stealing runtime: faults are a
+	// message-passing concept, so an active plan combined with
+	// RuntimeDynamic (or RuntimeShared/RuntimeSequential) must be rejected
+	// as ErrBadOptions at validation, not silently ignored.
+	for _, rt := range []Runtime{RuntimeDynamic, RuntimeShared, RuntimeSequential} {
+		_, err := Analyze(a, Options{Processors: 2, Runtime: rt, Faults: &FaultPlan{Drop: 0.1}})
+		if !errors.Is(err, ErrBadOptions) {
+			t.Fatalf("Runtime %v + active Faults not rejected as ErrBadOptions: %v", rt, err)
+		}
+	}
+	// An inactive plan alongside the dynamic runtime is fine.
+	if _, err := Analyze(a, Options{Processors: 2, Runtime: RuntimeDynamic, Faults: &FaultPlan{}}); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // A hopeless wire with a tiny retry budget must surface the typed budget

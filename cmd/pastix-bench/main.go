@@ -54,15 +54,22 @@ func main() {
 		batchReps  = flag.Int("batchreps", 5, "timing repetitions per point for -batchrhs (best kept)")
 		batchKs    = flag.String("batchks", "1,2,4,8,16,32", "right-hand-side counts for -batchrhs")
 
-		diverge  = flag.Bool("divergence", false, "trace an executed 3D Poisson factorization under both runtimes and print the predicted-vs-actual divergence reports")
+		diverge  = flag.Bool("divergence", false, "trace an executed 3D Poisson factorization under the parallel runtimes and print the predicted-vs-actual divergence reports")
 		divGrid  = flag.Int("divgrid", 12, "Poisson grid edge for -divergence (n³ unknowns)")
 		divProcs = flag.Int("divprocs", 4, "processor count for -divergence")
+
+		dynCmp   = flag.Bool("dyncmp", false, "compare the static shared-memory runtime vs the work-stealing dynamic runtime (regular + irregular matrices, idle + loaded machine)")
+		dynGrid  = flag.Int("dyngrid", 14, "Poisson grid edge for -dyncmp (n³ unknowns)")
+		dynProcs = flag.Int("dynprocs", 4, "worker count for -dyncmp")
+		dynReps  = flag.Int("dynreps", 5, "timing repetitions per point for -dyncmp (best kept)")
+		dynLoad  = flag.Int("dynload", 0, "background CPU-burner goroutines for the loaded -dyncmp points (0 = worker count)")
+		dynOut   = flag.String("dynout", "BENCH_dynamic_vs_static.json", "JSON output file for -dyncmp rows")
 	)
 	flag.Parse()
 	if *all {
 		*table1, *table2, *dense, *ablate = true, true, true, true
 	}
-	if !*table1 && !*table2 && !*dense && !*ablate && !*sharedCmp && !*batchRHS && !*diverge && *plot == "" && *bsweep == "" {
+	if !*table1 && !*table2 && !*dense && !*ablate && !*sharedCmp && !*batchRHS && !*diverge && !*dynCmp && *plot == "" && *bsweep == "" {
 		flag.Usage()
 		return
 	}
@@ -201,10 +208,14 @@ func main() {
 		fmt.Printf("== predicted-vs-actual divergence, executed %d³ Poisson on %d processors ==\n", g, *divProcs)
 		a := gen.Laplacian3D(g, g, g)
 		for _, rt := range []struct {
-			name   string
-			shared bool
-		}{{"mpsim (message-passing)", false}, {"shared (zero-copy)", true}} {
-			an, err := pastix.Analyze(a, pastix.Options{Processors: *divProcs, SharedMemory: rt.shared})
+			name    string
+			runtime pastix.Runtime
+		}{
+			{"mpsim (message-passing)", pastix.RuntimeMPSim},
+			{"shared (zero-copy)", pastix.RuntimeShared},
+			{"dynamic (work-stealing)", pastix.RuntimeDynamic},
+		} {
+			an, err := pastix.Analyze(a, pastix.Options{Processors: *divProcs, Runtime: rt.runtime})
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -216,6 +227,28 @@ func main() {
 			if err := tr.WriteReport(os.Stdout); err != nil {
 				log.Fatal(err)
 			}
+		}
+		fmt.Println()
+	}
+	if *dynCmp {
+		fmt.Printf("== dynamic (work-stealing) vs static (shared-memory) makespan, %d workers ==\n", *dynProcs)
+		rp, err := bench.CompareDynamic(*dynGrid, *dynProcs, *dynReps, *dynLoad)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(bench.FormatDynRows(rp.Rows))
+		if rp.Note != "" {
+			fmt.Printf("note: %s\n", rp.Note)
+		}
+		if *dynOut != "" {
+			data, err := json.MarshalIndent(rp, "", "  ")
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(*dynOut, append(data, '\n'), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("rows written to %s\n", *dynOut)
 		}
 		fmt.Println()
 	}

@@ -32,7 +32,8 @@ func main() {
 	var (
 		addr        = flag.String("addr", ":8416", "listen address (host:port; :0 picks a free port)")
 		procs       = flag.Int("procs", 4, "virtual processors per factorization")
-		shared      = flag.Bool("shared", false, "factorize with the zero-copy shared-memory runtime")
+		shared      = flag.Bool("shared", false, "factorize with the zero-copy shared-memory runtime (shorthand for -runtime shared)")
+		runtimeName = flag.String("runtime", "auto", "factorization runtime: auto, seq, mpsim, shared or dynamic (work-stealing)")
 		cacheSize   = flag.Int("cache-size", 0, "analysis cache entries (0 = default)")
 		maxFactors  = flag.Int("max-factors", 0, "live factor handles (0 = default)")
 		batchWindow = flag.Duration("batch-window", 0, "multi-RHS coalescing window (0 = default 2ms)")
@@ -47,9 +48,14 @@ func main() {
 	)
 	flag.Parse()
 
+	rt, err := pastix.ParseRuntime(*runtimeName)
+	if err != nil {
+		log.Fatal(err)
+	}
 	cfg := service.Config{
 		Solver: pastix.Options{
 			Processors:   *procs,
+			Runtime:      rt,
 			SharedMemory: *shared,
 			StaticPivot:  pastix.StaticPivotOptions{Epsilon: *pivotEps, MaxRetries: *pivotRetry},
 			RefineTol:    *refineTol,

@@ -53,7 +53,7 @@ func main() {
 		procs     = flag.Int("p", 1, "number of virtual processors")
 		ordering  = flag.String("ordering", "scotch", "ordering: scotch, metis, amd, natural")
 		blockSize = flag.Int("bs", 64, "BLAS blocking size")
-		runtime   = flag.String("runtime", "mpsim", "factorization runtime: mpsim (message-passing) or shared (zero-copy shared memory)")
+		runtime   = flag.String("runtime", "auto", "factorization runtime: auto, mpsim (message-passing), shared (zero-copy shared memory), dynamic (work-stealing) or seq (sequential reference)")
 		calibrate = flag.Bool("calibrate", false, "calibrate the cost model on this host")
 		gantt     = flag.Bool("gantt", false, "print a Gantt chart of the static schedule")
 		stats     = flag.Bool("stats", false, "print a detailed schedule summary")
@@ -100,13 +100,9 @@ func main() {
 		fatal(fmt.Errorf("%w: unknown ordering %q", pastix.ErrBadOptions, *ordering))
 	}
 
-	var shared bool
-	switch *runtime {
-	case "mpsim":
-	case "shared":
-		shared = true
-	default:
-		fatal(fmt.Errorf("%w: unknown runtime %q (want mpsim or shared)", pastix.ErrBadOptions, *runtime))
+	rt, err := pastix.ParseRuntime(*runtime)
+	if err != nil {
+		fatal(err)
 	}
 
 	start := time.Now()
@@ -115,7 +111,7 @@ func main() {
 		Ordering:         method,
 		BlockSize:        *blockSize,
 		CalibrateMachine: *calibrate,
-		SharedMemory:     shared,
+		Runtime:          rt,
 		Faults:           plan,
 		StaticPivot:      pastix.StaticPivotOptions{Epsilon: *pivotEps, MaxRetries: *pivotRetry},
 		RefineTol:        *refineTol,

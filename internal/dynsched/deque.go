@@ -1,0 +1,81 @@
+// Package dynsched executes a sched.DAG with data-driven task activation on
+// a pool of worker goroutines: no fixed task→processor mapping, per-worker
+// ready deques, atomic in-degree countdown, and lock-free work stealing. It
+// is the dynamic alternative to the paper's static K_p task vectors — the
+// schedule's cost model survives only as the priority used to order a
+// worker's own ready queue.
+package dynsched
+
+import "sync/atomic"
+
+// deque is a Chase-Lev work-stealing deque specialised for this executor:
+// the owner pushes and pops at the bottom (LIFO, so the priority-sorted
+// activation batch is consumed highest-priority first), thieves steal from
+// the top (the tail — the oldest, typically coarsest-grained entries).
+//
+// The ring is sized to the total task count, and every task id is pushed at
+// most once per run, so slots are never recycled — the classic ABA hazard of
+// a wrapping Chase-Lev buffer cannot occur. Go's sync/atomic operations are
+// sequentially consistent, which is stronger than the acquire/release
+// fences the original algorithm needs, so the unsynchronised-looking loads
+// in pop/steal are sound.
+type deque struct {
+	top    atomic.Int64 // next index thieves claim; only ever incremented
+	bottom atomic.Int64 // next index the owner pushes at; owner-written only
+	mask   int64
+	buf    []atomic.Int32
+}
+
+// newDeque returns a deque that can hold cap entries without wrapping.
+func newDeque(cap int) *deque {
+	sz := int64(1)
+	for sz < int64(cap)+1 {
+		sz <<= 1
+	}
+	return &deque{mask: sz - 1, buf: make([]atomic.Int32, sz)}
+}
+
+// push appends a task at the bottom. Owner only.
+func (d *deque) push(task int32) {
+	b := d.bottom.Load()
+	d.buf[b&d.mask].Store(task)
+	d.bottom.Store(b + 1)
+}
+
+// pop removes the most recently pushed task, or returns -1 when empty. Owner
+// only. When a thief races for the last entry, the CAS on top decides.
+func (d *deque) pop() int32 {
+	b := d.bottom.Load() - 1
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty: undo the reservation.
+		d.bottom.Store(b + 1)
+		return -1
+	}
+	task := d.buf[b&d.mask].Load()
+	if b > t {
+		return task
+	}
+	// Last entry: win it against any concurrent thief.
+	if !d.top.CompareAndSwap(t, t+1) {
+		task = -1
+	}
+	d.bottom.Store(b + 1)
+	return task
+}
+
+// steal removes the oldest task, or returns -1 when empty or when it lost a
+// race for the last entry (the caller treats both as "try elsewhere").
+func (d *deque) steal() int32 {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return -1
+	}
+	task := d.buf[t&d.mask].Load()
+	if !d.top.CompareAndSwap(t, t+1) {
+		return -1
+	}
+	return task
+}

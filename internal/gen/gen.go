@@ -260,6 +260,38 @@ func GradedPivot(nb, bs int, decay, couple float64, singular bool) *sparse.SymMa
 	return b.Build()
 }
 
+// RandomSPD returns a random sparse strictly diagonally dominant (hence SPD)
+// matrix of order n with about deg off-diagonal entries per row, seeded
+// deterministically: the same (n, deg, seed) triple yields the same matrix
+// on every platform (splitmix64, no math/rand). Unlike the structured
+// generators its sparsity pattern has no geometry, which exercises the
+// orderings and the 1D/2D switch on an irregular elimination tree.
+func RandomSPD(n, deg int, seed uint64) *sparse.SymMatrix {
+	s := seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	next := func() uint64 {
+		s += 0x9e3779b97f4a7c15
+		return splitmix64(s)
+	}
+	b := sparse.NewBuilder(n)
+	rowAbs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for d := 0; d < deg; d++ {
+			j := int(next() % uint64(n))
+			if j == i {
+				continue
+			}
+			v := -(0.25 + float64(next()>>11)/float64(1<<53))
+			b.Add(i, j, v)
+			rowAbs[i] -= v
+			rowAbs[j] -= v
+		}
+	}
+	for i := 0; i < n; i++ {
+		b.Add(i, i, rowAbs[i]+1+float64(next()>>11)/float64(1<<53))
+	}
+	return b.Build()
+}
+
 // RHSForSolution returns b = A·x for the deterministic solution
 // x[i] = 1 + (i mod 7)/7, handy for accuracy checks end to end.
 func RHSForSolution(a *sparse.SymMatrix) (x, b []float64) {

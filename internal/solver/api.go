@@ -188,22 +188,41 @@ func (an *Analysis) FactorizeOptsCtx(ctx context.Context, popts ParOptions) (*Fa
 // pass serves every matrix sharing the pattern. The caller is responsible
 // for pa actually having the analysed pattern.
 func (an *Analysis) FactorizeMatrixOptsCtx(ctx context.Context, pa *sparse.SymMatrix, popts ParOptions) (*Factors, error) {
-	if popts.SharedMemory {
-		if popts.Faults.Active() {
-			return nil, fmt.Errorf("solver: fault injection requires the message-passing runtime, not SharedMemory")
+	rt := popts.Runtime
+	if rt == RuntimeAuto {
+		switch {
+		case popts.SharedMemory:
+			rt = RuntimeShared
+		// Fault injection forces the message-passing runtime even at P == 1
+		// so crash/stall schedules have a worker to act on; tracing forces it
+		// so every schedule task gets an event.
+		case an.Sched.P == 1 && popts.Trace == nil && !popts.Faults.Active():
+			rt = RuntimeSequential
+		default:
+			rt = RuntimeMPSim
 		}
-		return FactorizeSharedCtx(ctx, pa, an.Sched, popts.Trace, popts.Pivot)
 	}
-	// Fault injection forces the message-passing runtime even at P == 1 so
-	// crash/stall schedules have a worker to act on.
-	if an.Sched.P == 1 && popts.Trace == nil && !popts.Faults.Active() {
+	if rt != RuntimeMPSim && popts.Faults.Active() {
+		return nil, fmt.Errorf("solver: fault injection requires the message-passing runtime, not %v", rt)
+	}
+	switch rt {
+	case RuntimeSequential:
+		if popts.Trace != nil {
+			return nil, fmt.Errorf("solver: tracing requires a parallel runtime, not %v", rt)
+		}
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		return FactorizeSeqPivot(pa, an.Sym, popts.Pivot)
+	case RuntimeShared:
+		return FactorizeSharedCtx(ctx, pa, an.Sched, popts.Trace, popts.Pivot)
+	case RuntimeDynamic:
+		return FactorizeDynamicCtx(ctx, pa, an.Sched, popts.Trace, popts.Pivot)
+	case RuntimeMPSim:
+		f, _, err := FactorizeParStatsCtx(ctx, pa, an.Sched, popts)
+		return f, err
 	}
-	f, _, err := FactorizeParStatsCtx(ctx, pa, an.Sched, popts)
-	return f, err
+	return nil, fmt.Errorf("solver: unknown runtime %v", popts.Runtime)
 }
 
 // SolveOriginal solves A·x = b in the ORIGINAL ordering: b is permuted in,

@@ -1,0 +1,251 @@
+package solver
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/pastix-go/pastix/internal/faults"
+	"github.com/pastix-go/pastix/internal/gen"
+	"github.com/pastix-go/pastix/internal/sparse"
+	"github.com/pastix-go/pastix/internal/trace"
+)
+
+// conformanceCase is one matrix of the cross-runtime conformance corpus:
+// every generator family in internal/gen, including the irregular ones.
+type conformanceCase struct {
+	name string
+	a    *sparse.SymMatrix
+	// needsPivot marks matrices that cannot factor without static pivoting
+	// (the pivot-off leg is skipped for them).
+	needsPivot bool
+}
+
+func conformanceCorpus() []conformanceCase {
+	return []conformanceCase{
+		{"poisson2d-16x16", gen.Laplacian2D(16, 16), false},
+		{"poisson3d-7", gen.Laplacian3D(7, 7, 7), false},
+		{"graded", gen.GradedPivot(4, 8, 1e-2, 0.05, false), false},
+		{"graded-singular", gen.GradedPivot(4, 8, 1e-2, 0.05, true), true},
+		{"randspd-seed1", gen.RandomSPD(160, 4, 1), false},
+		{"randspd-seed9", gen.RandomSPD(160, 5, 9), false},
+	}
+}
+
+// factorizeRT runs one factorization of the conformance grid: analysis an,
+// runtime rt, optional pivoting, optional tracing (recorder sized to the
+// schedule).
+func factorizeRT(t *testing.T, an *Analysis, rt Runtime, sp StaticPivot, traced bool) (*Factors, *trace.Recorder) {
+	t.Helper()
+	var rec *trace.Recorder
+	if traced {
+		rec = trace.New(an.Sched.P, 0)
+	}
+	f, err := an.FactorizeMatrixOptsCtx(context.Background(), an.A, ParOptions{
+		Runtime: rt,
+		Pivot:   sp,
+		Trace:   rec,
+	})
+	if err != nil {
+		t.Fatalf("%v factorize: %v", rt, err)
+	}
+	return f, rec
+}
+
+// TestRuntimeConformance is the cross-runtime conformance suite of the
+// dynamic-runtime work: every generator family × all four runtimes ×
+// {pivot off, pivot on} × {untraced, traced}. The deterministic runtimes
+// (sequential, shared, dynamic) must agree BITWISE on factor data, publish
+// reflect.DeepEqual perturbation reports, and return bitwise-equal solve
+// vectors; the message-passing simulator must agree to aggregation rounding
+// (≤1e-11 entrywise on these scales) with an identical report, and must be
+// bitwise-reproducible against itself.
+func TestRuntimeConformance(t *testing.T) {
+	for _, tc := range conformanceCorpus() {
+		for _, pivOn := range []bool{false, true} {
+			if tc.needsPivot && !pivOn {
+				continue
+			}
+			var sp StaticPivot
+			if pivOn {
+				sp = StaticPivot{Epsilon: 1e-10}
+			}
+			t.Run(fmt.Sprintf("%s/pivot=%v", tc.name, pivOn), func(t *testing.T) {
+				an := analyzeFor(t, tc.a, 4)
+				ref, _ := factorizeRT(t, an, RuntimeSequential, sp, false)
+				_, b := gen.RHSForSolution(tc.a)
+				refX := an.SolveOriginal(ref, b)
+
+				for _, rt := range []Runtime{RuntimeShared, RuntimeDynamic} {
+					for _, traced := range []bool{false, true} {
+						f, _ := factorizeRT(t, an, rt, sp, traced)
+						name := fmt.Sprintf("%v/traced=%v", rt, traced)
+						bitwiseEqualFactorsNamed(t, ref, f, name)
+						if !reflect.DeepEqual(ref.Pivots, f.Pivots) {
+							t.Fatalf("%s: perturbation report differs:\nseq: %+v\ngot: %+v", name, ref.Pivots, f.Pivots)
+						}
+						x := an.SolveOriginal(f, b)
+						for i := range refX {
+							if x[i] != refX[i] {
+								t.Fatalf("%s: solve x[%d] = %x, seq %x (not bit-identical)", name, i, x[i], refX[i])
+							}
+						}
+					}
+				}
+
+				// mpsim: deterministic (bitwise against itself) and equal to the
+				// reference to aggregation rounding; same report.
+				for _, traced := range []bool{false, true} {
+					f1, _ := factorizeRT(t, an, RuntimeMPSim, sp, traced)
+					f2, _ := factorizeRT(t, an, RuntimeMPSim, sp, traced)
+					name := fmt.Sprintf("mpsim/traced=%v", traced)
+					bitwiseEqualFactorsNamed(t, f1, f2, name+" (run-to-run)")
+					factorsClose(t, ref, f1, 1e-11)
+					if !reflect.DeepEqual(ref.Pivots, f1.Pivots) {
+						t.Fatalf("%s: perturbation report differs from seq", name)
+					}
+					x := an.SolveOriginal(f1, b)
+					for i := range refX {
+						if d := math.Abs(x[i] - refX[i]); d > 1e-9 {
+							t.Fatalf("%s: solve x[%d] off by %g", name, i, d)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+func bitwiseEqualFactorsNamed(t *testing.T, ref, got *Factors, name string) {
+	t.Helper()
+	for k := range ref.Data {
+		if len(ref.Data[k]) != len(got.Data[k]) {
+			t.Fatalf("%s: cell %d sizes differ (%d vs %d)", name, k, len(ref.Data[k]), len(got.Data[k]))
+		}
+		for i := range ref.Data[k] {
+			if ref.Data[k][i] != got.Data[k][i] {
+				t.Fatalf("%s: cell %d elem %d: %x vs %x (not bit-identical)",
+					name, k, i, got.Data[k][i], ref.Data[k][i])
+			}
+		}
+	}
+}
+
+// TestDynamicSharedBitwiseSeeds is the acceptance soak: across ≥20 random
+// irregular matrices the work-stealing runtime must produce factors
+// bitwise-identical to the static shared-memory runtime — every seed, every
+// run, regardless of which worker stole what. Run under -race by `make race`.
+func TestDynamicSharedBitwiseSeeds(t *testing.T) {
+	seeds := 24
+	if testing.Short() {
+		seeds = 6
+	}
+	for seed := 0; seed < seeds; seed++ {
+		a := gen.RandomSPD(120, 4, uint64(seed)+1)
+		an := analyzeFor(t, a, 4)
+		sh, err := an.FactorizeMatrixOptsCtx(context.Background(), an.A, ParOptions{Runtime: RuntimeShared})
+		if err != nil {
+			t.Fatalf("seed %d: shared: %v", seed, err)
+		}
+		dy, err := an.FactorizeMatrixOptsCtx(context.Background(), an.A, ParOptions{Runtime: RuntimeDynamic})
+		if err != nil {
+			t.Fatalf("seed %d: dynamic: %v", seed, err)
+		}
+		bitwiseEqualFactors(t, sh, dy, int64(seed))
+	}
+}
+
+// TestDynamicStealStorm drives the dynamic runtime where stealing is the
+// only way to make progress: tiny blocks (many small tasks) on many more
+// workers than the elimination tree keeps busy. Results must still be
+// bitwise-identical to sequential, and the executor must actually have
+// stolen.
+func TestDynamicStealStorm(t *testing.T) {
+	a := gen.Laplacian2D(20, 20)
+	an, err := Analyze(a, Options{P: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := FactorizeSeqPivot(an.A, an.Sym, StaticPivot{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var totalSteals int64
+	rounds := 20
+	if testing.Short() {
+		rounds = 5
+	}
+	for r := 0; r < rounds; r++ {
+		f, st, err := FactorizeDynamicStatsCtx(context.Background(), an.A, an.Sched, nil, StaticPivot{})
+		if err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		if st.Executed != int64(len(an.Sched.Tasks)) {
+			t.Fatalf("round %d: executed %d of %d tasks", r, st.Executed, len(an.Sched.Tasks))
+		}
+		bitwiseEqualFactors(t, ref, f, int64(r))
+		totalSteals += st.Steals
+	}
+	if totalSteals == 0 {
+		t.Fatal("steal storm never stole: executor degenerated to static mapping")
+	}
+}
+
+// TestDynamicTraceCompare checks the tracing surface of the dynamic runtime:
+// a traced dynamic factorization must replay through trace.CompareOpts with
+// FreeMapping (tasks run on arbitrary workers), producing a full report,
+// while the strict mapped comparison is expected to reject the free mapping.
+func TestDynamicTraceCompare(t *testing.T) {
+	a := gen.Laplacian2D(16, 16)
+	an := analyzeFor(t, a, 4)
+	rec := trace.New(an.Sched.P, 0)
+	_, err := an.FactorizeMatrixOptsCtx(context.Background(), an.A, ParOptions{Runtime: RuntimeDynamic, Trace: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := trace.CompareOpts(an.Sched, rec, trace.CompareOptions{FreeMapping: true})
+	if err != nil {
+		t.Fatalf("CompareOpts(FreeMapping): %v", err)
+	}
+	if len(rp.Tasks) != len(an.Sched.Tasks) {
+		t.Fatalf("report covers %d tasks, schedule has %d", len(rp.Tasks), len(an.Sched.Tasks))
+	}
+	if rp.MeasuredMakespan <= 0 {
+		t.Fatalf("measured makespan %v not positive", rp.MeasuredMakespan)
+	}
+}
+
+// TestDynamicRejectsFaults pins the chaos-interplay contract at the solver
+// layer: fault injection exists for the message-passing runtime only, and
+// combining an active plan with the work-stealing runtime must fail up
+// front, not silently ignore the plan.
+func TestDynamicRejectsFaults(t *testing.T) {
+	a := gen.Laplacian2D(10, 10)
+	an := analyzeFor(t, a, 2)
+	plan := &faults.Plan{Seed: 1, Drop: 0.1}
+	for _, rt := range []Runtime{RuntimeDynamic, RuntimeShared, RuntimeSequential} {
+		_, err := an.FactorizeMatrixOptsCtx(context.Background(), an.A, ParOptions{Runtime: rt, Faults: plan})
+		if err == nil {
+			t.Fatalf("%v accepted an active fault plan", rt)
+		}
+	}
+	// The same plan on the message-passing runtime is fine.
+	if _, err := an.FactorizeMatrixOptsCtx(context.Background(), an.A, ParOptions{Runtime: RuntimeMPSim, Faults: plan}); err != nil {
+		t.Fatalf("mpsim rejected its own fault plan: %v", err)
+	}
+}
+
+// TestDynamicHonorsContext covers cancellation through the full solver
+// stack: a context cancelled mid-factorization must abort the dynamic run
+// with ctx.Err() and unwind every worker.
+func TestDynamicHonorsContext(t *testing.T) {
+	a := gen.Laplacian2D(20, 20)
+	an := analyzeFor(t, a, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := an.FactorizeMatrixOptsCtx(ctx, an.A, ParOptions{Runtime: RuntimeDynamic}); err == nil {
+		t.Fatal("cancelled context not observed")
+	}
+}

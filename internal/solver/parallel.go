@@ -25,6 +25,11 @@ const (
 
 // ParOptions tunes the parallel factorization runtime.
 type ParOptions struct {
+	// Runtime selects the execution engine (see the Runtime constants).
+	// RuntimeAuto (the zero value) keeps the historical dispatch: shared
+	// memory when SharedMemory is set, sequential at P == 1 without tracing
+	// or faults, message-passing otherwise.
+	Runtime Runtime
 	// MaxAUBBytes bounds the memory a processor may hold in aggregation
 	// buffers. When the bound is exceeded, the largest AUB is sent with
 	// partial aggregation to free space — the paper's fan-both relaxation

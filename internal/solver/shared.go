@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,16 +16,29 @@ import (
 )
 
 // This file implements the shared-memory execution of the static schedule:
-// the same per-processor K_p task vectors as FactorizePar, but with direct
-// in-place aggregation into one shared Factors storage instead of mpsim
-// message copies. AUBs, solved panels and diagonal blocks are never
-// serialized or duplicated — a contribution is a GEMM straight into the
-// destination region, a panel or diagonal read is a slice of the shared
-// array. Task ordering is enforced by per-task dependency counters
-// (sched.InDegrees) with close-only ready channels, and concurrent
-// contributions into one destination region are serialized by a per-task
-// mutex. The message-passing runtime remains as the paper-faithful ablation
-// baseline; see DESIGN.md for the contrast.
+// the same per-processor K_p task vectors as FactorizePar, but over ONE
+// shared Factors storage instead of mpsim message copies. AUBs, solved
+// panels and diagonal blocks are never serialized or duplicated — a panel or
+// diagonal read is a slice of the shared array.
+//
+// Contributions are not applied by their producer. Each outer-product update
+// is enqueued as a (source cell, s, t) descriptor on its DESTINATION task,
+// and the destination applies all of them at activation, sorted into the
+// sequential right-looking order (source cell ascending, then t, then s).
+// Because the update kernels accumulate into the destination in place, the
+// floating-point result depends on application order; replaying the
+// sequential order makes the factor BITWISE identical to FactorizeSeq — and
+// to every other runtime that executes the same protocol, regardless of how
+// tasks interleave (see the dynamic work-stealing runtime in dynamic.go,
+// which reuses everything here except the driver loop). The price is that a
+// region's updates execute on one processor instead of being spread over the
+// producers; the message-passing runtime pays the same shape of cost when it
+// adds received AUBs at the destination.
+//
+// Task ordering is enforced by per-task dependency counters
+// (sched.InDegrees) with close-only ready channels. The message-passing
+// runtime remains as the paper-faithful ablation baseline; see DESIGN.md for
+// the contrast.
 
 // errSharedAborted unblocks gate waiters after a peer failed; the peer's
 // root-cause error is reported in preference to it.
@@ -38,14 +52,33 @@ type taskGate struct {
 	ready     chan struct{}
 }
 
+// contribRef identifies one deferred outer-product update: the (S,T) block
+// pair of source cell Cell. The actual operands are read from the shared
+// storage when the destination applies the update — by then the source panel
+// holds exactly W = L·D (panel scaling is deferred to the scale phase) and
+// sr.invd[Cell] is published, so the kernel computes bit for bit what the
+// sequential code computes.
+type contribRef struct {
+	Cell, S, T int32
+}
+
+// pendList collects the contributions enqueued on one destination task. The
+// mutex both serializes concurrent producers and hands the consumer a
+// happens-before edge over everything each producer wrote before enqueueing
+// (its solved panel, its published 1/D).
+type pendList struct {
+	mu   sync.Mutex
+	refs []contribRef
+}
+
 // sharedRun is the state shared by all goroutine processors of one
-// FactorizeShared execution.
+// FactorizeShared (or FactorizeDynamic) execution.
 type sharedRun struct {
 	sch   *sched.Schedule
 	f     *Factors        // the one shared factor storage (fully allocated)
-	gates []taskGate      // per task
-	locks []sync.Mutex    // per task: serializes contributions into its region
-	invd  [][]float64     // per cell: 1/D, published by the FACTOR task
+	gates []taskGate      // per task (static driver only)
+	pend  []pendList      // per task: deferred contributions into its region
+	invd  [][]float64     // per cell: 1/D, published by the FACTOR/COMP1D task
 	rec   *trace.Recorder // nil disables tracing
 	tau   float64         // static-pivot threshold; 0 disables pivoting
 
@@ -62,6 +95,24 @@ type sharedRun struct {
 }
 
 func (sr *sharedRun) fail() { sr.abortOnce.Do(func() { close(sr.abort) }) }
+
+// newSharedRun builds the run state common to the static shared-memory
+// driver and the dynamic work-stealing driver.
+func newSharedRun(ctx context.Context, sch *sched.Schedule, rec *trace.Recorder, sp StaticPivot, a *sparse.SymMatrix) *sharedRun {
+	tau, _ := pivotThreshold(sp, a)
+	sym := sch.Sym()
+	return &sharedRun{
+		sch:     sch,
+		f:       NewFactors(sym),
+		pend:    make([]pendList, len(sch.Tasks)),
+		invd:    make([][]float64, sym.NumCB()),
+		rec:     rec,
+		tau:     tau,
+		ctx:     ctx,
+		ctxDone: ctx.Done(),
+		abort:   make(chan struct{}),
+	}
+}
 
 // wait blocks until task id's gate opens (all dependencies satisfied), the
 // run aborts, or the context is cancelled. A nil ctxDone channel blocks
@@ -104,7 +155,7 @@ func (sr *sharedRun) done(id int) {
 // FactorizeShared runs the supernodal LDLᵀ factorization on sch.P goroutine
 // processors over ONE shared factor storage: the exact task vectors and
 // dependency structure of the static schedule, executed zero-copy. The
-// result equals FactorizeSeq to rounding and needs no gather step.
+// result is bitwise identical to FactorizeSeq and needs no gather step.
 func FactorizeShared(a *sparse.SymMatrix, sch *sched.Schedule) (*Factors, error) {
 	return FactorizeSharedCtx(context.Background(), a, sch, nil, StaticPivot{})
 }
@@ -120,20 +171,8 @@ func FactorizeSharedCtx(ctx context.Context, a *sparse.SymMatrix, sch *sched.Sch
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	tau, normMax := pivotThreshold(sp, a)
-	sym := sch.Sym()
-	sr := &sharedRun{
-		sch:     sch,
-		f:       NewFactors(sym),
-		gates:   make([]taskGate, len(sch.Tasks)),
-		locks:   make([]sync.Mutex, len(sch.Tasks)),
-		invd:    make([][]float64, sym.NumCB()),
-		rec:     rec,
-		tau:     tau,
-		ctx:     ctx,
-		ctxDone: ctx.Done(),
-		abort:   make(chan struct{}),
-	}
+	sr := newSharedRun(ctx, sch, rec, sp, a)
+	sr.gates = make([]taskGate, len(sch.Tasks))
 	for i, d := range sch.InDegrees() {
 		sr.gates[i].ready = make(chan struct{})
 		sr.gates[i].remaining.Store(d)
@@ -152,15 +191,21 @@ func FactorizeSharedCtx(ctx context.Context, a *sparse.SymMatrix, sch *sched.Sch
 	if err := sr.runPhase(sr.execute); err != nil {
 		return nil, err
 	}
-	// Phase 3: deferred panel scaling of 2D blocks (W = L·D until every BMOD
-	// reader has finished; the phase barrier guarantees that).
+	// Phase 3: deferred panel scaling (W = L·D until every deferred reader
+	// has finished; the phase barrier guarantees that).
 	if err := sr.runPhase(sr.scale); err != nil {
 		return nil, err
 	}
+	sr.finishPivots(sp, a)
+	return sr.f, nil
+}
+
+// finishPivots attaches the perturbation report after a successful run.
+func (sr *sharedRun) finishPivots(sp StaticPivot, a *sparse.SymMatrix) {
 	if sp.Enabled() {
+		_, normMax := pivotThreshold(sp, a)
 		sr.f.Pivots = buildReport(sp, normMax, sr.perts, sr.f)
 	}
-	return sr.f, nil
 }
 
 // runPhase runs fn on every processor and waits; the phase boundary is a
@@ -220,40 +265,60 @@ func (sr *sharedRun) assemble(a *sparse.SymMatrix, p int) error {
 	return nil
 }
 
+// execute is the static driver: run this processor's K_p vector in schedule
+// order, waiting on each task's gate.
 func (sr *sharedRun) execute(p int) error {
 	for _, id := range sr.sch.ByProc[p] {
 		if err := sr.wait(id); err != nil {
 			return err
 		}
-		t := &sr.sch.Tasks[id]
-		// Interval starts after wait so it measures execution only; idle time
-		// is the gap between consecutive task events on this processor.
-		var start time.Duration
-		if sr.rec != nil {
-			start = sr.rec.Now()
-		}
-		var err error
-		switch t.Type {
-		case sched.Comp1D:
-			err = sr.execComp1D(p, t)
-		case sched.Factor:
-			err = sr.execFactor(p, t)
-		case sched.BDiv:
-			err = sr.execBDiv(t)
-		case sched.BMod:
-			err = sr.execBMod(t)
-		}
-		if err != nil {
+		if err := sr.execTask(p, id); err != nil {
 			return err
-		}
-		if sr.rec != nil {
-			sr.rec.Task(p, id, t.Type, t.Cell, t.S, t.T, start, sr.rec.Now())
 		}
 		sr.done(id)
 	}
 	return nil
 }
 
+// execTask runs one schedule task on (virtual) processor p: apply the
+// deferred contributions targeting its region, then the task's own kernel
+// work. It is shared by the static shared-memory driver and the dynamic
+// work-stealing driver — the callers differ only in how they decide that the
+// task's dependencies are satisfied.
+func (sr *sharedRun) execTask(p, id int) error {
+	t := &sr.sch.Tasks[id]
+	// Interval starts after the dependency wait so it measures execution
+	// only; idle time is the gap between consecutive task events.
+	var start time.Duration
+	if sr.rec != nil {
+		start = sr.rec.Now()
+	}
+	if err := sr.applyPending(id); err != nil {
+		return err
+	}
+	var err error
+	switch t.Type {
+	case sched.Comp1D:
+		err = sr.execComp1D(p, t)
+	case sched.Factor:
+		err = sr.execFactor(p, t)
+	case sched.BDiv:
+		err = sr.execBDiv(t)
+	case sched.BMod:
+		err = sr.execBMod(t)
+	}
+	if err != nil {
+		return err
+	}
+	if sr.rec != nil {
+		sr.rec.Task(p, id, t.Type, t.Cell, t.S, t.T, start, sr.rec.Now())
+	}
+	return nil
+}
+
+// scale is phase 3: convert every panel from W = L·D to L. BDIV panels and
+// COMP1D panels alike are deferred here so that deferred contribution
+// readers always see W.
 func (sr *sharedRun) scale(p int) error {
 	var start time.Duration
 	if sr.rec != nil {
@@ -262,13 +327,15 @@ func (sr *sharedRun) scale(p int) error {
 	sym := sr.sch.Sym()
 	for _, id := range sr.sch.ByProc[p] {
 		t := &sr.sch.Tasks[id]
-		if t.Type != sched.BDiv {
-			continue
+		switch t.Type {
+		case sched.Comp1D:
+			sr.f.ScalePanel(t.Cell, sr.f.Diag(t.Cell))
+		case sched.BDiv:
+			cb := &sym.CB[t.Cell]
+			blk := cb.Blocks[t.S]
+			off := sr.f.BlockOff[t.Cell][t.S]
+			blas.ScaleColumns(blk.Rows(), cb.Width(), sr.f.Data[t.Cell][off:], sr.f.LD[t.Cell], sr.f.Diag(t.Cell))
 		}
-		cb := &sym.CB[t.Cell]
-		blk := cb.Blocks[t.S]
-		off := sr.f.BlockOff[t.Cell][t.S]
-		blas.ScaleColumns(blk.Rows(), cb.Width(), sr.f.Data[t.Cell][off:], sr.f.LD[t.Cell], sr.f.Diag(t.Cell))
 	}
 	if sr.rec != nil {
 		sr.rec.Phase(p, trace.PhaseScale, start, sr.rec.Now())
@@ -276,46 +343,90 @@ func (sr *sharedRun) scale(p int) error {
 	return nil
 }
 
-// contribute computes the (s,t) outer-product contribution of cell k from
-// W_s and W_t (both slices of the shared storage) and subtracts it directly
-// from the destination region, under the destination task's lock. This is
-// the zero-copy replacement for the AUB accumulate/pack/send/apply chain.
-func (sr *sharedRun) contribute(k, s, t int, ws []float64, lda int, wt []float64, ldb int, invd []float64) error {
+// destTask returns the task whose region the (s,t) contribution of cell k
+// lands in — the task the contribution descriptor is enqueued on.
+func (sr *sharedRun) destTask(k, s, t int) (int, error) {
 	sym := sr.sch.Sym()
 	cb := &sym.CB[k]
-	w := cb.Width()
 	bs := &cb.Blocks[s]
 	bt := &cb.Blocks[t]
 	fcell := bt.Facing
-
-	// Destination task (for the lock) and region offset.
-	var dt int
 	switch {
 	case sr.sch.Comp1DOf[fcell] >= 0:
-		dt = sr.sch.Comp1DOf[fcell]
+		return sr.sch.Comp1DOf[fcell], nil
 	case bs.Facing == fcell:
-		dt = sr.sch.FactorOf[fcell]
+		return sr.sch.FactorOf[fcell], nil
 	default:
 		b := sr.f.BlockContaining(fcell, bs.FirstRow, bs.LastRow)
 		if b < 0 {
-			return fmt.Errorf("solver: rows [%d,%d) of cb %d not in cb %d", bs.FirstRow, bs.LastRow, k, fcell)
+			return 0, fmt.Errorf("solver: rows [%d,%d) of cb %d not in cb %d", bs.FirstRow, bs.LastRow, k, fcell)
 		}
-		dt = sr.sch.BDivOf[fcell][b]
+		return sr.sch.BDivOf[fcell][b], nil
 	}
-	_, off, err := targetOffset(sr.f, k, s, t)
+}
+
+// enqueue defers the (s,t) outer-product contribution of cell k onto its
+// destination task. The source panel and 1/D must already be published; the
+// destination reads them when it activates.
+func (sr *sharedRun) enqueue(k, s, t int) error {
+	dt, err := sr.destTask(k, s, t)
 	if err != nil {
 		return err
 	}
-	dst := sr.f.Data[fcell][off:]
-	ldc := sr.f.LD[fcell]
+	pl := &sr.pend[dt]
+	pl.mu.Lock()
+	pl.refs = append(pl.refs, contribRef{Cell: int32(k), S: int32(s), T: int32(t)})
+	pl.mu.Unlock()
+	return nil
+}
 
-	sr.locks[dt].Lock()
-	if s == t {
-		blas.SyrkLowerNDT(bs.Rows(), w, ws, lda, invd, dst, ldc)
-	} else {
-		blas.GemmNDTAuto(bs.Rows(), bt.Rows(), w, ws, lda, invd, wt, ldb, dst, ldc)
+// applyPending applies every contribution enqueued on task id, in the
+// CANONICAL order — source cell ascending, then t, then s: exactly the order
+// the sequential right-looking loop produces them in. Each kernel runs
+// straight into the destination region of the shared storage, so the
+// accumulated bits equal the sequential ones. By the activation protocol all
+// producers have completed, so the list is final and the region is owned
+// exclusively by this task — no locks are held during the kernels.
+func (sr *sharedRun) applyPending(id int) error {
+	pl := &sr.pend[id]
+	pl.mu.Lock()
+	refs := pl.refs
+	pl.refs = nil
+	pl.mu.Unlock()
+	if len(refs) == 0 {
+		return nil
 	}
-	sr.locks[dt].Unlock()
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].Cell != refs[j].Cell {
+			return refs[i].Cell < refs[j].Cell
+		}
+		if refs[i].T != refs[j].T {
+			return refs[i].T < refs[j].T
+		}
+		return refs[i].S < refs[j].S
+	})
+	sym := sr.sch.Sym()
+	for _, r := range refs {
+		k, s, t := int(r.Cell), int(r.S), int(r.T)
+		cb := &sym.CB[k]
+		w := cb.Width()
+		bs := &cb.Blocks[s]
+		bt := &cb.Blocks[t]
+		fcell, off, err := targetOffset(sr.f, k, s, t)
+		if err != nil {
+			return err
+		}
+		ld := sr.f.LD[k]
+		ws := sr.f.Data[k][sr.f.BlockOff[k][s]:]
+		wt := sr.f.Data[k][sr.f.BlockOff[k][t]:]
+		dst := sr.f.Data[fcell][off:]
+		ldc := sr.f.LD[fcell]
+		if s == t {
+			blas.SyrkLowerNDT(bs.Rows(), w, ws, ld, sr.invd[k], dst, ldc)
+		} else {
+			blas.GemmNDTAuto(bs.Rows(), bt.Rows(), w, ws, ld, sr.invd[k], wt, ld, dst, ldc)
+		}
+	}
 	return nil
 }
 
@@ -341,8 +452,8 @@ func (sr *sharedRun) factorDiag(p, k int) error {
 
 func (sr *sharedRun) execComp1D(p int, t *sched.Task) error {
 	k := t.Cell
-	// The gate admitted us, so every contribution into this cell has been
-	// subtracted in place already; the cell is ready to factor.
+	// applyPending subtracted every contribution into this cell; it is ready
+	// to factor.
 	if err := sr.factorDiag(p, k); err != nil {
 		return err
 	}
@@ -352,21 +463,17 @@ func (sr *sharedRun) execComp1D(p int, t *sched.Task) error {
 	for i, v := range d {
 		invd[i] = 1 / v
 	}
-	sym := sr.sch.Sym()
-	cb := &sym.CB[k]
-	ld := sr.f.LD[k]
-	data := sr.f.Data[k]
+	// Publish 1/D: the destinations of this cell's contributions read it when
+	// they activate. The panel stays W = L·D until the scale phase.
+	sr.invd[k] = invd
+	cb := &sr.sch.Sym().CB[k]
 	for ti := range cb.Blocks {
 		for si := ti; si < len(cb.Blocks); si++ {
-			if err := sr.contribute(k, si, ti,
-				data[sr.f.BlockOff[k][si]:], ld,
-				data[sr.f.BlockOff[k][ti]:], ld, invd); err != nil {
+			if err := sr.enqueue(k, si, ti); err != nil {
 				return err
 			}
 		}
 	}
-	// All readers of this cell's W are within this task; scale immediately.
-	sr.f.ScalePanel(k, d)
 	return nil
 }
 
@@ -376,8 +483,8 @@ func (sr *sharedRun) execFactor(p int, t *sched.Task) error {
 		return err
 	}
 	// Publish 1/D for the BMOD tasks of this cell (they observe it through
-	// the FACTOR → BDIV → BMOD gate chain). The diagonal block itself is
-	// read in place by BDIV — no copy is ever taken.
+	// the FACTOR → BDIV → BMOD activation chain). The diagonal block itself
+	// is read in place by BDIV — no copy is ever taken.
 	d := sr.f.Diag(k)
 	invd := make([]float64, len(d))
 	for i, v := range d {
@@ -398,9 +505,5 @@ func (sr *sharedRun) execBDiv(t *sched.Task) error {
 }
 
 func (sr *sharedRun) execBMod(t *sched.Task) error {
-	k := t.Cell
-	ld := sr.f.LD[k]
-	ws := sr.f.Data[k][sr.f.BlockOff[k][t.S]:]
-	wt := sr.f.Data[k][sr.f.BlockOff[k][t.T]:]
-	return sr.contribute(k, t.S, t.T, ws, ld, wt, ld, sr.invd[k])
+	return sr.enqueue(t.Cell, t.S, t.T)
 }

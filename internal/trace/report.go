@@ -82,11 +82,28 @@ type Report struct {
 	SpillBytes int64
 }
 
+// CompareOptions tunes Compare.
+type CompareOptions struct {
+	// FreeMapping accepts traces from runtimes that do not honor the
+	// schedule's task→processor mapping — the dynamic work-stealing runtime,
+	// whose tasks run on whichever worker won them. Each ProcDivergence then
+	// attributes ModelBusy to the SCHEDULED processor but MeasBusy/MeasIdle
+	// to the worker that actually executed the task, so the busy/idle table
+	// contrasts the planned distribution with the stolen one. Without it, a
+	// task traced on a processor other than its scheduled one is an error.
+	FreeMapping bool
+}
+
 // Compare joins the recorder's task events against the static schedule that
 // drove the run and returns the divergence report. Every KindTask event must
 // reference a task of sch; tasks never traced (schedule not fully executed)
 // are an error.
 func Compare(sch *sched.Schedule, rec *Recorder) (*Report, error) {
+	return CompareOpts(sch, rec, CompareOptions{})
+}
+
+// CompareOpts is Compare with options (see CompareOptions).
+func CompareOpts(sch *sched.Schedule, rec *Recorder, opts CompareOptions) (*Report, error) {
 	n := len(sch.Tasks)
 	type meas struct {
 		start, dur float64
@@ -182,11 +199,16 @@ func Compare(sch *sched.Schedule, rec *Recorder) (*Report, error) {
 	for id := 0; id < n; id++ {
 		t := &sch.Tasks[id]
 		rp.Procs[t.Proc].ModelBusy += t.End - t.Start
-		if got[id].proc != t.Proc {
-			return nil, fmt.Errorf("trace: task %d traced on proc %d but scheduled on %d",
-				id, got[id].proc, t.Proc)
+		mp := got[id].proc
+		if !opts.FreeMapping {
+			if mp != t.Proc {
+				return nil, fmt.Errorf("trace: task %d traced on proc %d but scheduled on %d (dynamic runtime? use FreeMapping)",
+					id, mp, t.Proc)
+			}
+		} else if mp < 0 || mp >= len(rp.Procs) {
+			return nil, fmt.Errorf("trace: task %d traced on proc %d outside [0,%d)", id, mp, len(rp.Procs))
 		}
-		rp.Procs[t.Proc].MeasBusy += got[id].dur
+		rp.Procs[mp].MeasBusy += got[id].dur
 	}
 	var modelMax, modelSum, measMax, measSum float64
 	for p := range rp.Procs {

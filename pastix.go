@@ -90,6 +90,47 @@ const (
 	OrderNatural
 )
 
+// Runtime selects the engine executing the numerical factorization (and
+// SolveParallel). All runtimes consume the same analysis and static
+// schedule. RuntimeSequential, RuntimeShared and RuntimeDynamic produce
+// BITWISE identical factors, solves and perturbation reports (contributions
+// are applied in the canonical sequential order); RuntimeMPSim aggregates
+// contributions into AUBs — the paper's central mechanism — so it matches
+// the others to rounding (~1e-11) and is deterministic run to run, but not
+// bit-equal.
+type Runtime = solver.Runtime
+
+const (
+	// RuntimeAuto (the default) preserves the historical dispatch:
+	// shared-memory when Options.SharedMemory is set, sequential at
+	// Processors == 1 without tracing or faults, message-passing otherwise.
+	RuntimeAuto = solver.RuntimeAuto
+	// RuntimeSequential is the right-looking sequential reference.
+	RuntimeSequential = solver.RuntimeSequential
+	// RuntimeMPSim is the paper-faithful message-passing fan-in/fan-both
+	// runtime (goroutine processors exchanging explicit messages).
+	RuntimeMPSim = solver.RuntimeMPSim
+	// RuntimeShared is the zero-copy shared-memory runtime driven by the
+	// static schedule's per-processor task vectors.
+	RuntimeShared = solver.RuntimeShared
+	// RuntimeDynamic is the work-stealing runtime: the shared-memory data
+	// layout with data-driven task activation instead of the fixed
+	// task→processor mapping — per-worker ready deques, atomic in-degree
+	// countdown, lock-free stealing. Best when the cost model misprices an
+	// irregular matrix or the host is contended.
+	RuntimeDynamic = solver.RuntimeDynamic
+)
+
+// ParseRuntime maps a CLI spelling ("auto", "seq", "mpsim", "shared",
+// "dynamic") to its Runtime; errors match ErrBadOptions.
+func ParseRuntime(s string) (Runtime, error) {
+	rt, err := solver.ParseRuntime(s)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadOptions, err)
+	}
+	return rt, nil
+}
+
 // Options configures Analyze.
 type Options struct {
 	// Processors is the number of virtual processors the static schedule
@@ -123,7 +164,17 @@ type Options struct {
 	// between goroutine processors. Faster on a real SMP host; the default
 	// message-passing runtime remains the paper-faithful baseline. The
 	// factor produced is identical to rounding either way.
+	//
+	// Deprecated: SharedMemory true is equivalent to Runtime: RuntimeShared,
+	// which also admits the other engines. Setting both to conflicting
+	// values fails Validate.
 	SharedMemory bool
+	// Runtime selects the factorization engine: RuntimeAuto (default),
+	// RuntimeSequential, RuntimeMPSim, RuntimeShared or RuntimeDynamic. An
+	// active fault plan requires the message-passing runtime (RuntimeAuto or
+	// RuntimeMPSim); any other combination fails Validate with
+	// ErrBadOptions.
+	Runtime Runtime
 	// Faults injects deterministic message and worker faults into the
 	// message-passing runtime and arms its reliability layer (see FaultPlan).
 	// Nil or an inactive plan leaves the fault-free fast path untouched. An
@@ -190,12 +241,21 @@ func (o Options) Validate() error {
 	default:
 		return fmt.Errorf("%w: unknown ordering method %d", ErrBadOptions, o.Ordering)
 	}
+	if !o.Runtime.Valid() {
+		return fmt.Errorf("%w: unknown runtime %d", ErrBadOptions, o.Runtime)
+	}
+	if o.SharedMemory && o.Runtime != RuntimeAuto && o.Runtime != RuntimeShared {
+		return fmt.Errorf("%w: SharedMemory conflicts with Runtime %v", ErrBadOptions, o.Runtime)
+	}
 	if o.Faults != nil {
 		if err := o.Faults.Validate(); err != nil {
 			return fmt.Errorf("%w: %v", ErrBadOptions, err)
 		}
 		if o.SharedMemory && o.Faults.Active() {
 			return fmt.Errorf("%w: fault injection requires the message-passing runtime, not SharedMemory", ErrBadOptions)
+		}
+		if o.Faults.Active() && o.Runtime != RuntimeAuto && o.Runtime != RuntimeMPSim {
+			return fmt.Errorf("%w: fault injection requires the message-passing runtime, not %v", ErrBadOptions, o.Runtime)
 		}
 	}
 	if o.StaticPivot.Epsilon < 0 || o.StaticPivot.Epsilon >= 1 {
@@ -214,7 +274,7 @@ func (o Options) Validate() error {
 // are safe for concurrent use once constructed.
 type Analysis struct {
 	inner     *solver.Analysis
-	shared    bool               // numerical phases use the shared-memory runtime
+	runtime   Runtime            // engine for the numerical phases
 	faults    *FaultPlan         // fault injection for the numerical phases (nil = off)
 	pivot     StaticPivotOptions // static pivoting for the numerical phases
 	refineTol float64            // adaptive-refinement target; 0 = default
@@ -223,7 +283,14 @@ type Analysis struct {
 // parOpts builds the runtime options every numerical phase of this analysis
 // shares.
 func (an *Analysis) parOpts() solver.ParOptions {
-	return solver.ParOptions{SharedMemory: an.shared, Faults: an.faults, Pivot: an.pivot}
+	return solver.ParOptions{Runtime: an.runtime, Faults: an.faults, Pivot: an.pivot}
+}
+
+// sharedLayout reports whether the numerical phases run over the
+// shared-memory data layout (the static shared or dynamic work-stealing
+// engine), which is what SolveParallel keys its solve engine on.
+func (an *Analysis) sharedLayout() bool {
+	return an.runtime == RuntimeShared || an.runtime == RuntimeDynamic
 }
 
 // Factor holds the numerical factorization L·D·Lᵀ.
@@ -296,7 +363,11 @@ func AnalyzeContext(ctx context.Context, a *Matrix, opts Options) (*Analysis, er
 	if err != nil {
 		return nil, err
 	}
-	an := &Analysis{inner: inner, shared: opts.SharedMemory, pivot: opts.StaticPivot, refineTol: opts.RefineTol}
+	rt := opts.Runtime
+	if rt == RuntimeAuto && opts.SharedMemory {
+		rt = RuntimeShared
+	}
+	an := &Analysis{inner: inner, runtime: rt, pivot: opts.StaticPivot, refineTol: opts.RefineTol}
 	if opts.Faults.Active() {
 		an.faults = opts.Faults
 	}
@@ -383,7 +454,7 @@ func (an *Analysis) solveParallel(ctx context.Context, f *Factor, b []float64, r
 	}
 	var px []float64
 	var err error
-	if an.shared {
+	if an.sharedLayout() {
 		px, err = solver.SolveSharedCtx(ctx, an.inner.Sched, f.inner, pb, rec)
 	} else {
 		px, err = solver.SolveParOpts(ctx, an.inner.Sched, f.inner, pb, solver.SolveOptions{Trace: rec, Faults: an.faults})

@@ -2,6 +2,7 @@ package pastix
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"testing"
 
@@ -64,6 +65,85 @@ func TestPublicAPISharedMemoryRoundTrip(t *testing.T) {
 		if r := Residual(a, got, b); r > 1e-12 {
 			t.Fatalf("%s: residual %g", name, r)
 		}
+	}
+}
+
+// TestPublicAPIDynamicRoundTrip exercises the work-stealing runtime through
+// the public surface: Options.Runtime = RuntimeDynamic must factorize on the
+// shared-memory layout and solve with the same answers — and the same bits —
+// as the static shared runtime over the same analysis options.
+func TestPublicAPIDynamicRoundTrip(t *testing.T) {
+	a := gen.Laplacian2D(14, 14)
+	an, err := Analyze(a, Options{Processors: 4, BlockSize: 16, Ratio2D: 2, Runtime: RuntimeDynamic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := an.Factorize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, b := gen.RHSForSolution(a)
+	got, err := an.SolveParallel(f, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(got[i]-x[i]) > 1e-9 {
+			t.Fatalf("x[%d]=%g want %g", i, got[i], x[i])
+		}
+	}
+	if r := Residual(a, got, b); r > 1e-12 {
+		t.Fatalf("residual %g", r)
+	}
+
+	// Bitwise agreement with the static shared runtime through the public API.
+	anS, err := Analyze(a, Options{Processors: 4, BlockSize: 16, Ratio2D: 2, Runtime: RuntimeShared})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fS, err := anS.Factorize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotS, err := anS.SolveParallel(fS, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range gotS {
+		if got[i] != gotS[i] {
+			t.Fatalf("x[%d] = %x dynamic vs %x shared (not bit-identical)", i, got[i], gotS[i])
+		}
+	}
+}
+
+// TestParseRuntime pins the public runtime-name surface shared by the CLIs.
+func TestParseRuntime(t *testing.T) {
+	good := map[string]Runtime{
+		"":           RuntimeAuto,
+		"auto":       RuntimeAuto,
+		"seq":        RuntimeSequential,
+		"sequential": RuntimeSequential,
+		"mpsim":      RuntimeMPSim,
+		"shared":     RuntimeShared,
+		"dynamic":    RuntimeDynamic,
+	}
+	for s, want := range good {
+		rt, err := ParseRuntime(s)
+		if err != nil || rt != want {
+			t.Fatalf("ParseRuntime(%q) = %v, %v; want %v", s, rt, err, want)
+		}
+	}
+	if _, err := ParseRuntime("gpu"); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("ParseRuntime(gpu) = %v, want ErrBadOptions", err)
+	}
+	// SharedMemory conflicts with a non-shared explicit runtime.
+	a := gen.Laplacian2D(8, 8)
+	if _, err := Analyze(a, Options{Processors: 2, SharedMemory: true, Runtime: RuntimeMPSim}); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("SharedMemory+RuntimeMPSim not rejected: %v", err)
+	}
+	// ...but agrees with RuntimeShared.
+	if _, err := Analyze(a, Options{Processors: 2, SharedMemory: true, Runtime: RuntimeShared}); err != nil {
+		t.Fatal(err)
 	}
 }
 

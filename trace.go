@@ -24,6 +24,11 @@ type TraceOptions struct {
 type Trace struct {
 	rec *trace.Recorder
 	sch *sched.Schedule
+	// free marks a trace from the dynamic work-stealing runtime: tasks ran
+	// on whichever worker won them, so divergence reports compare with
+	// trace.CompareOptions.FreeMapping instead of erroring on the
+	// task→processor mismatch.
+	free bool
 }
 
 // FactorizeTraced is FactorizeContext with execution tracing: the numerical
@@ -63,7 +68,8 @@ func (an *Analysis) factorizeTraced(ctx context.Context, pa *Matrix, topts Trace
 	if err != nil {
 		return nil, nil, err
 	}
-	return &Factor{inner: f, an: an.inner, pa: pa}, &Trace{rec: rec, sch: sch}, nil
+	return &Factor{inner: f, an: an.inner, pa: pa},
+		&Trace{rec: rec, sch: sch, free: an.runtime == RuntimeDynamic}, nil
 }
 
 // SolveParallelTraced is SolveParallelContext recording the solve's phase
@@ -88,7 +94,7 @@ func (t *Trace) WriteChromeTrace(w io.Writer) error { return t.rec.WriteChromeTr
 // It fails if the trace does not cover every schedule task (e.g. the run was
 // cancelled).
 func (t *Trace) WriteReport(w io.Writer) error {
-	rp, err := trace.Compare(t.sch, t.rec)
+	rp, err := trace.CompareOpts(t.sch, t.rec, trace.CompareOptions{FreeMapping: t.free})
 	if err != nil {
 		return err
 	}
@@ -147,7 +153,7 @@ type TraceSummary struct {
 // Summary computes the divergence digest. It fails if the trace does not
 // cover every schedule task.
 func (t *Trace) Summary() (TraceSummary, error) {
-	rp, err := trace.Compare(t.sch, t.rec)
+	rp, err := trace.CompareOpts(t.sch, t.rec, trace.CompareOptions{FreeMapping: t.free})
 	if err != nil {
 		return TraceSummary{}, err
 	}
