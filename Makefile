@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet fmt-check check chaos numstress dynstress fuzz serve-smoke ci
+.PHONY: all build test race bench vet fmt-check check chaos numstress dynstress solvestress fuzz serve-smoke ci
 
 all: ci
 
@@ -62,6 +62,16 @@ dynstress:
 		-run 'RuntimeConformance|DynamicShared|DynamicSteal|DynamicTrace|DynamicRejects|DynamicHonors' \
 		./internal/solver
 
+# Solve-path stress soak: the solve DAG projection and level-set engine
+# suites, the packed panel kernels, the cross-runtime solve conformance
+# table (every generator × every factorization runtime × static/dynamic
+# level dispatch × 1/32 RHS, bitwise), the public SolveOpts wrapper
+# equivalence, and the serving options path — all under the race detector.
+solvestress:
+	$(GO) test -race -timeout 300s \
+		-run 'SolveDAG|SolvePlan|LevelSolve|LevelStorm|SolveLevel|Packed|SolveConformance|SolveOpts|PrepareSolve|ServerSolveOptions' \
+		./internal/solver ./internal/blas ./internal/service .
+
 # Short coverage-guided fuzz pass over the sparse-matrix invariants, the
 # file parsers and the task-DAG executor (10s each keeps CI bounded; raise
 # -fuzztime for a real hunt).
@@ -79,6 +89,6 @@ serve-smoke:
 	$(GO) run ./cmd/pastix-serve -smoke
 
 # The CI entry point (and default target): build, vet+gofmt, tests, race,
-# the chaos, numerical-stress and dynamic-runtime soaks, a short fuzz pass,
-# then the serving smoke test.
-ci: build vet test race chaos numstress dynstress fuzz serve-smoke
+# the chaos, numerical-stress, dynamic-runtime and solve-path soaks, a short
+# fuzz pass, then the serving smoke test.
+ci: build vet test race chaos numstress dynstress solvestress fuzz serve-smoke

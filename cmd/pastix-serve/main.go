@@ -32,7 +32,6 @@ func main() {
 	var (
 		addr        = flag.String("addr", ":8416", "listen address (host:port; :0 picks a free port)")
 		procs       = flag.Int("procs", 4, "virtual processors per factorization")
-		shared      = flag.Bool("shared", false, "factorize with the zero-copy shared-memory runtime (shorthand for -runtime shared)")
 		runtimeName = flag.String("runtime", "auto", "factorization runtime: auto, seq, mpsim, shared or dynamic (work-stealing)")
 		cacheSize   = flag.Int("cache-size", 0, "analysis cache entries (0 = default)")
 		maxFactors  = flag.Int("max-factors", 0, "live factor handles (0 = default)")
@@ -54,11 +53,10 @@ func main() {
 	}
 	cfg := service.Config{
 		Solver: pastix.Options{
-			Processors:   *procs,
-			Runtime:      rt,
-			SharedMemory: *shared,
-			StaticPivot:  pastix.StaticPivotOptions{Epsilon: *pivotEps, MaxRetries: *pivotRetry},
-			RefineTol:    *refineTol,
+			Processors:  *procs,
+			Runtime:     rt,
+			StaticPivot: pastix.StaticPivotOptions{Epsilon: *pivotEps, MaxRetries: *pivotRetry},
+			RefineTol:   *refineTol,
 		},
 		CacheSize:       *cacheSize,
 		MaxFactors:      *maxFactors,

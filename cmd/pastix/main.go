@@ -220,19 +220,18 @@ func main() {
 	xref, b := gen.RHSForSolution(a)
 	perturbed := f.Perturbations() != nil && len(f.Perturbations().Perturbed) > 0
 	start = time.Now()
-	var x []float64
+	sopts := pastix.SolveOptions{}
 	if perturbed || *refineTol > 0 {
-		var rs pastix.RefineStats
-		x, rs, err = an.SolveRefinedStats(f, b)
-		if err == nil {
-			fmt.Printf("refine   : %d sweep(s), backward error %.2e (converged=%v)\n",
-				rs.Iterations, rs.BackwardError, rs.Converged)
-		}
-	} else {
-		x, err = an.Solve(f, b)
+		sopts.Refine = &pastix.RefineOptions{}
 	}
+	res, err := an.SolveOpts(context.Background(), f, b, sopts)
 	if err != nil {
 		fatal(err)
+	}
+	x := res.X
+	if rs := res.Refine; rs != nil {
+		fmt.Printf("refine   : %d sweep(s), backward error %.2e (converged=%v)\n",
+			rs.Iterations, rs.BackwardError, rs.Converged)
 	}
 	tSolve := time.Since(start)
 	maxErr := 0.0

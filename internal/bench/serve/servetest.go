@@ -1,0 +1,312 @@
+// Package serve benchmarks the solve-path throughput engine: the level-set
+// solve scheduler with packed panel kernels against the legacy sweeps, and
+// the HTTP serving layer under concurrent clients. It lives apart from
+// internal/bench because it exercises the public pastix API (which the root
+// package's own benchmarks would cycle on).
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/pastix-go/pastix"
+	"github.com/pastix-go/pastix/internal/gen"
+	"github.com/pastix-go/pastix/internal/order"
+	"github.com/pastix-go/pastix/internal/part"
+	"github.com/pastix-go/pastix/internal/service"
+	"github.com/pastix-go/pastix/internal/solver"
+)
+
+// runtimeCmpPart mirrors internal/bench's runtime-comparison blocking: small
+// blocks so the solve DAG has enough cells to spread across workers at these
+// test sizes.
+var runtimeCmpPart = part.Options{BlockSize: 16, Ratio2D: 2, MinWidth2D: 8}
+
+// ServeSolveRow is one point of the solve-engine comparison: the same
+// factor solved by the legacy sweep (the per-supernode gathering
+// SolveShared at one right-hand side, the message-passing panel sweep at
+// many) and by the level-set engine with packed panel kernels. Times are
+// best-of-reps wall seconds per right-hand side.
+type ServeSolveRow struct {
+	Matrix       string  `json:"matrix"`
+	N            int     `json:"n"`
+	P            int     `json:"p"`
+	NRHS         int     `json:"nrhs"`
+	Legacy       string  `json:"legacy_engine"`
+	LegacyPerRHS float64 `json:"legacy_per_rhs_sec"`
+	LevelPerRHS  float64 `json:"levelset_per_rhs_sec"`
+	Speedup      float64 `json:"speedup"` // legacy / level-set; >1 means the level-set engine won
+}
+
+// ServeLoadRow is one client-count point of the in-process serving load
+// test: concurrent clients firing single-RHS /v1/solve requests (riding the
+// server's batcher) against one factor handle.
+type ServeLoadRow struct {
+	Clients  int     `json:"clients"`
+	Requests int     `json:"requests"`
+	QPS      float64 `json:"qps"`
+	P50MS    float64 `json:"p50_ms"`
+	P99MS    float64 `json:"p99_ms"`
+	MeanMS   float64 `json:"mean_ms"`
+}
+
+// ServeReport is the emitted BENCH_solve_throughput.json artifact. Like the
+// dynamic-vs-static report it records the host parallelism the numbers were
+// measured under: with fewer cores than solver workers plus clients the QPS
+// points measure time-sharing, not the solve path.
+type ServeReport struct {
+	CPUs       int             `json:"cpus"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Grid       int             `json:"grid"`
+	Procs      int             `json:"p"`
+	Solve      []ServeSolveRow `json:"solve_rows"`
+	Load       []ServeLoadRow  `json:"load_rows"`
+	Note       string          `json:"note,omitempty"`
+}
+
+// ServeTest measures the solve-path throughput engine: per-solve time of the
+// level-set engine vs the legacy sweeps at 1 and wideNRHS right-hand sides,
+// then an in-process HTTP load test at each of clientCounts concurrent
+// clients (requests per point split across them).
+func ServeTest(grid, procs, reps, wideNRHS, requests int, clientCounts []int) (*ServeReport, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	if wideNRHS < 2 {
+		wideNRHS = 32
+	}
+	if requests < 1 {
+		requests = 200
+	}
+	rp := &ServeReport{
+		CPUs: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Grid: grid, Procs: procs,
+	}
+	solveRows, err := serveSolveRows(grid, procs, reps, wideNRHS)
+	if err != nil {
+		return nil, err
+	}
+	rp.Solve = solveRows
+	loadRows, err := serveLoadRows(grid, procs, requests, clientCounts)
+	if err != nil {
+		return nil, err
+	}
+	rp.Load = loadRows
+	maxClients := 0
+	for _, c := range clientCounts {
+		if c > maxClients {
+			maxClients = c
+		}
+	}
+	if rp.GOMAXPROCS < procs+maxClients {
+		rp.Note = fmt.Sprintf("host has GOMAXPROCS=%d for %d solver workers + up to %d clients: "+
+			"the QPS and tail-latency points include core time-sharing; on a larger machine the "+
+			"level-set engine's parallel steps convert directly into latency",
+			rp.GOMAXPROCS, procs, maxClients)
+	}
+	return rp, nil
+}
+
+// serveSolveRows times the raw solve engines on one factor.
+func serveSolveRows(grid, procs, reps, wideNRHS int) ([]ServeSolveRow, error) {
+	a := gen.Laplacian3D(grid, grid, grid)
+	name := fmt.Sprintf("poisson3d-%d", grid)
+	an, err := solver.Analyze(a, solver.Options{
+		P:        procs,
+		Ordering: order.Options{Method: order.ScotchLike},
+		Part:     runtimeCmpPart,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	f, err := solver.FactorizeShared(an.A, an.Sched)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	an.PrepareSolve(f) // plan + packed panels out of the timed region
+	pl := an.SolvePlanFor(procs)
+	_, b := gen.RHSForSolution(a)
+	pb := make([]float64, a.N)
+	for newI, old := range an.Perm {
+		pb[newI] = b[old]
+	}
+	panel := make([]float64, a.N*wideNRHS)
+	for r := 0; r < wideNRHS; r++ {
+		for i := 0; i < a.N; i++ {
+			panel[i+r*a.N] = pb[i] * (1 + float64(r)/7)
+		}
+	}
+	ctx := context.Background()
+	var rows []ServeSolveRow
+	for _, nrhs := range []int{1, wideNRHS} {
+		row := ServeSolveRow{
+			Matrix: name, N: a.N, P: procs, NRHS: nrhs,
+			LegacyPerRHS: math.Inf(1), LevelPerRHS: math.Inf(1),
+		}
+		rhs := pb
+		if nrhs > 1 {
+			rhs = panel
+		}
+		for r := 0; r < reps; r++ {
+			// Legacy: the schedule-sweep shared solve for one RHS, the
+			// message-passing panel sweep for many (the engines the server
+			// ran before the level-set scheduler).
+			t0 := time.Now()
+			if nrhs == 1 {
+				row.Legacy = "shared-sweep"
+				_, err = solver.SolveShared(an.Sched, f, rhs)
+			} else {
+				row.Legacy = "mpsim-panel"
+				_, err = solver.SolveParManyOpts(ctx, an.Sched, f, rhs, nrhs, solver.SolveOptions{})
+			}
+			if err != nil {
+				return nil, fmt.Errorf("%s legacy nrhs=%d: %w", name, nrhs, err)
+			}
+			if s := time.Since(t0).Seconds() / float64(nrhs); s < row.LegacyPerRHS {
+				row.LegacyPerRHS = s
+			}
+
+			t0 = time.Now()
+			_, err = solver.SolveLevelCtx(ctx, pl, f, rhs, solver.LevelOptions{NRHS: nrhs})
+			if err != nil {
+				return nil, fmt.Errorf("%s level nrhs=%d: %w", name, nrhs, err)
+			}
+			if s := time.Since(t0).Seconds() / float64(nrhs); s < row.LevelPerRHS {
+				row.LevelPerRHS = s
+			}
+		}
+		row.Speedup = row.LegacyPerRHS / row.LevelPerRHS
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// serveLoadRows boots the solver service in-process and fires concurrent
+// single-RHS solve requests at one factor handle.
+func serveLoadRows(grid, procs, requests int, clientCounts []int) ([]ServeLoadRow, error) {
+	s, err := service.New(service.Config{
+		Solver:     pastix.Options{Processors: procs},
+		QueueDepth: 4096,
+		Workers:    8,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	a := gen.Laplacian3D(grid, grid, grid)
+	var mm strings.Builder
+	if err := pastix.WriteMatrixMarket(&mm, a, "servetest"); err != nil {
+		return nil, err
+	}
+	var fr struct {
+		Handle string `json:"handle"`
+	}
+	if err := postServe(ts.URL+"/v1/factorize", map[string]any{"matrix_market": mm.String()}, &fr); err != nil {
+		return nil, fmt.Errorf("factorize: %w", err)
+	}
+	_, b := gen.RHSForSolution(a)
+
+	var rows []ServeLoadRow
+	for _, clients := range clientCounts {
+		if clients < 1 {
+			continue
+		}
+		perClient := requests / clients
+		if perClient < 1 {
+			perClient = 1
+		}
+		total := perClient * clients
+		lat := make([]float64, total)
+		var wg sync.WaitGroup
+		errs := make(chan error, clients)
+		t0 := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				body := map[string]any{"handle": fr.Handle, "b": b}
+				var resp struct {
+					X []float64 `json:"x"`
+				}
+				for i := 0; i < perClient; i++ {
+					tr := time.Now()
+					if err := postServe(ts.URL+"/v1/solve", body, &resp); err != nil {
+						errs <- fmt.Errorf("clients=%d: %w", clients, err)
+						return
+					}
+					lat[c*perClient+i] = float64(time.Since(tr)) / float64(time.Millisecond)
+				}
+			}(c)
+		}
+		wg.Wait()
+		wall := time.Since(t0).Seconds()
+		select {
+		case err := <-errs:
+			return nil, err
+		default:
+		}
+		sort.Float64s(lat)
+		mean := 0.0
+		for _, l := range lat {
+			mean += l
+		}
+		rows = append(rows, ServeLoadRow{
+			Clients:  clients,
+			Requests: total,
+			QPS:      float64(total) / wall,
+			P50MS:    lat[total/2],
+			P99MS:    lat[(total*99)/100],
+			MeanMS:   mean / float64(total),
+		})
+	}
+	return rows, nil
+}
+
+// postServe posts body as JSON and decodes the response, failing on any
+// non-200 status.
+func postServe(url string, body, into any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var eb bytes.Buffer
+		_, _ = eb.ReadFrom(resp.Body)
+		return fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, eb.String())
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}
+
+// FormatServeReport renders the report as aligned text tables.
+func FormatServeReport(rp *ServeReport) string {
+	var sb strings.Builder
+	sb.WriteString("matrix          n      P  nrhs  legacy engine  legacy/rhs (ms)  levelset/rhs (ms)  speedup\n")
+	for _, r := range rp.Solve {
+		fmt.Fprintf(&sb, "%-12s %6d %4d %5d  %-13s %16.3f %18.3f %8.2fx\n",
+			r.Matrix, r.N, r.P, r.NRHS, r.Legacy, r.LegacyPerRHS*1e3, r.LevelPerRHS*1e3, r.Speedup)
+	}
+	sb.WriteString("\nclients  requests      QPS   p50 (ms)   p99 (ms)  mean (ms)\n")
+	for _, r := range rp.Load {
+		fmt.Fprintf(&sb, "%7d %9d %8.1f %10.3f %10.3f %10.3f\n",
+			r.Clients, r.Requests, r.QPS, r.P50MS, r.P99MS, r.MeanMS)
+	}
+	return sb.String()
+}

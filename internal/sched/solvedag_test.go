@@ -1,0 +1,158 @@
+package sched
+
+import (
+	"testing"
+
+	"github.com/pastix-go/pastix/internal/gen"
+	"github.com/pastix-go/pastix/internal/symbolic"
+)
+
+func buildSolveDAG(t *testing.T, grid, P int) (*symbolic.Symbol, *SolveDAG) {
+	t.Helper()
+	sym, _ := buildSchedule(t, gen.Laplacian2D(grid, grid), P, 16)
+	return sym, BuildSolveDAG(sym)
+}
+
+// TestSolveDAGLevelsTopological checks the level invariant directly against
+// the block structure: every forward edge k→Facing must go to a strictly
+// deeper level, and each cell's level must be exactly one more than its
+// deepest predecessor (longest path, not just any topological labelling).
+func TestSolveDAGLevelsTopological(t *testing.T) {
+	sym, d := buildSolveDAG(t, 18, 4)
+	ncb := sym.NumCB()
+	if len(d.Level) != ncb {
+		t.Fatalf("Level covers %d cells, want %d", len(d.Level), ncb)
+	}
+	deepestIn := make([]int32, ncb)
+	for i := range deepestIn {
+		deepestIn[i] = -1
+	}
+	edges := 0
+	for k := 0; k < ncb; k++ {
+		for _, blk := range sym.CB[k].Blocks {
+			edges++
+			if d.Level[blk.Facing] <= d.Level[k] {
+				t.Fatalf("edge %d(level %d) -> %d(level %d) not increasing",
+					k, d.Level[k], blk.Facing, d.Level[blk.Facing])
+			}
+			if l := d.Level[k] + 1; l > deepestIn[blk.Facing] {
+				deepestIn[blk.Facing] = l
+			}
+		}
+	}
+	if edges != d.Edges {
+		t.Fatalf("Edges = %d, structure has %d", d.Edges, edges)
+	}
+	for k := 0; k < ncb; k++ {
+		want := deepestIn[k]
+		if want < 0 {
+			want = 0
+		}
+		if d.Level[k] != want {
+			t.Fatalf("cell %d: level %d, longest path gives %d", k, d.Level[k], want)
+		}
+	}
+}
+
+// TestSolveDAGLevelsPartition checks Levels is a partition of the cells in
+// ascending order per level, consistent with Level, and that MaxWidth and
+// Depth match it.
+func TestSolveDAGLevelsPartition(t *testing.T) {
+	sym, d := buildSolveDAG(t, 16, 4)
+	seen := make([]bool, sym.NumCB())
+	maxW := 0
+	for l, cells := range d.Levels {
+		if len(cells) == 0 {
+			t.Fatalf("level %d empty", l)
+		}
+		if len(cells) > maxW {
+			maxW = len(cells)
+		}
+		for i, c := range cells {
+			if seen[c] {
+				t.Fatalf("cell %d in two levels", c)
+			}
+			seen[c] = true
+			if d.Level[c] != int32(l) {
+				t.Fatalf("cell %d listed at level %d but Level says %d", c, l, d.Level[c])
+			}
+			if i > 0 && cells[i-1] >= c {
+				t.Fatalf("level %d not ascending at %d", l, i)
+			}
+		}
+	}
+	for c, ok := range seen {
+		if !ok {
+			t.Fatalf("cell %d missing from Levels", c)
+		}
+	}
+	if maxW != d.MaxWidth {
+		t.Fatalf("MaxWidth = %d, want %d", d.MaxWidth, maxW)
+	}
+	if d.Depth() != len(d.Levels) {
+		t.Fatalf("Depth = %d, want %d", d.Depth(), len(d.Levels))
+	}
+}
+
+// TestHybridStepsCoverAndOrder checks a hybrid schedule is a permutation of
+// the cells in level order (so executing steps in sequence is topological),
+// that parallel steps are exactly the wide levels, and that chains never
+// contain a level at or above the cutoff.
+func TestHybridStepsCoverAndOrder(t *testing.T) {
+	sym, d := buildSolveDAG(t, 18, 4)
+	for _, cutoff := range []int{0, 1, 4, 1 << 30} {
+		steps := d.HybridSteps(4, cutoff)
+		eff := cutoff
+		if eff <= 0 {
+			eff = DefaultSolveCutoff(4)
+		}
+		total := 0
+		lastLevel := int32(-1)
+		for _, st := range steps {
+			if len(st.Cells) == 0 {
+				t.Fatalf("cutoff %d: empty step", cutoff)
+			}
+			total += len(st.Cells)
+			for _, c := range st.Cells {
+				if d.Level[c] < lastLevel {
+					t.Fatalf("cutoff %d: cell %d at level %d after level %d", cutoff, c, d.Level[c], lastLevel)
+				}
+				lastLevel = d.Level[c]
+			}
+			if st.Parallel {
+				if st.Levels != 1 {
+					t.Fatalf("parallel step spans %d levels", st.Levels)
+				}
+				if len(st.Cells) < eff {
+					t.Fatalf("cutoff %d: parallel step of width %d below cutoff %d", cutoff, len(st.Cells), eff)
+				}
+			} else if st.Levels < 1 {
+				t.Fatalf("chain step with Levels %d", st.Levels)
+			}
+		}
+		if total != sym.NumCB() {
+			t.Fatalf("cutoff %d: steps cover %d cells, want %d", cutoff, total, sym.NumCB())
+		}
+	}
+}
+
+// TestHybridStepsSingleWorker pins the degenerate schedules: one worker (or
+// an empty DAG) must produce at most one step, a chain over everything — a
+// plain sequential sweep with no barriers.
+func TestHybridStepsSingleWorker(t *testing.T) {
+	sym, d := buildSolveDAG(t, 14, 2)
+	steps := d.HybridSteps(1, 0)
+	if len(steps) != 1 || steps[0].Parallel {
+		t.Fatalf("1 worker: got %d steps (parallel=%v), want one chain", len(steps), len(steps) > 0 && steps[0].Parallel)
+	}
+	if len(steps[0].Cells) != sym.NumCB() {
+		t.Fatalf("1 worker: chain has %d cells, want %d", len(steps[0].Cells), sym.NumCB())
+	}
+	if steps[0].Levels != d.Depth() {
+		t.Fatalf("1 worker: chain spans %d levels, want %d", steps[0].Levels, d.Depth())
+	}
+	empty := &SolveDAG{}
+	if got := empty.HybridSteps(4, 0); len(got) != 0 {
+		t.Fatalf("empty DAG: %d steps", len(got))
+	}
+}

@@ -4,16 +4,19 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"github.com/pastix-go/pastix"
 )
 
 // batcher coalesces concurrent solve requests against one factor into
 // blocked multi-RHS panel solves: the first request in an empty batch arms a
 // window timer; companions arriving within the window join the panel, and
 // the batch flushes on the timer or as soon as maxBatch right-hand sides
-// have gathered. The panel runs once through SolveParallelMany, whose
-// columns are bit-identical to independent SolveParallel calls, so riding a
-// batch never changes a client's answer — it only amortizes the solve's
-// synchronization and message latency and gives the kernels BLAS-3 shape.
+// have gathered. The panel runs once through SolveOpts, whose level-set
+// engine makes every panel column bit-identical to a sequential single-RHS
+// solve of it, so riding a batch never changes a client's answer — it only
+// amortizes the solve's synchronization latency and gives the packed kernels
+// BLAS-3 shape.
 type batcher struct {
 	window   time.Duration
 	maxBatch int
@@ -38,6 +41,7 @@ type solveReq struct {
 type solveRes struct {
 	x       []float64
 	batched int // size of the batch this request rode in
+	plan    pastix.PlanStats
 	err     error
 
 	// Degraded-success diagnostics, set when the factor was perturbed by

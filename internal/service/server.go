@@ -104,7 +104,8 @@ func (s *Server) Drain(ctx context.Context) error {
 //
 //	POST /v1/analyze    {"matrix_market": "...", "deadline_ms": 0}
 //	POST /v1/factorize  {"matrix_market": "...", "deadline_ms": 0}
-//	POST /v1/solve      {"handle": "...", "b": [...], "deadline_ms": 0}
+//	POST /v1/solve      {"handle": "...", "b": [...], "deadline_ms": 0,
+//	                     "options": {"nrhs": 0, "runtime": "", "refine": {"tol": 0, "max_iter": 0}}}
 //	POST /v1/release    {"handle": "..."}
 //	GET  /healthz
 //	GET  /metrics
@@ -203,6 +204,9 @@ type factorizeResponse struct {
 	Fingerprint    string  `json:"fingerprint"`
 	AnalysisCached bool    `json:"analysis_cached"`
 	FactorizeMS    float64 `json:"factorize_ms"`
+	// SolvePlan is the prewarmed level-set solve schedule this handle's
+	// solves will run (PrepareSolve at factorize time).
+	SolvePlan *pastix.PlanStats `json:"solve_plan,omitempty"`
 	// Degraded-success fields (static pivoting): present when the
 	// factorization substituted pivots instead of failing.
 	PerturbedColumns []int   `json:"perturbed_columns,omitempty"`
@@ -219,12 +223,37 @@ type solveRequest struct {
 	Handle     string    `json:"handle"`
 	B          []float64 `json:"b"`
 	DeadlineMS int64     `json:"deadline_ms,omitempty"`
+	// Options mirrors pastix.SolveOptions (the unified Solve API). Requests
+	// without it keep the historical contract: one right-hand side, the
+	// default engine, eligible for batch coalescing. Requests carrying
+	// options run directly (a panel or a pinned engine must not be coalesced
+	// with strangers) on their own worker slot.
+	Options *solveRequestOptions `json:"options,omitempty"`
+}
+
+// solveRequestOptions is the JSON mirror of pastix.SolveOptions.
+type solveRequestOptions struct {
+	// NRHS makes b an n×NRHS column-major panel; 0 means 1.
+	NRHS int `json:"nrhs,omitempty"`
+	// Runtime pins the solve engine ("auto", "seq", "mpsim", "shared",
+	// "dynamic"); empty means auto.
+	Runtime string `json:"runtime,omitempty"`
+	// Refine requests adaptive iterative refinement of every column.
+	Refine *refineRequestOptions `json:"refine,omitempty"`
+}
+
+type refineRequestOptions struct {
+	Tol     float64 `json:"tol,omitempty"`
+	MaxIter int     `json:"max_iter,omitempty"`
 }
 
 type solveResponse struct {
 	X       []float64 `json:"x"`
+	NRHS    int       `json:"nrhs,omitempty"`
 	Batched int       `json:"batched"`
 	SolveMS float64   `json:"solve_ms"`
+	// Plan describes the level-set solve schedule when that engine ran.
+	Plan *pastix.PlanStats `json:"plan,omitempty"`
 	// Degraded-success fields: set when the factor behind the handle carries
 	// static-pivot perturbations — the solution went through adaptive
 	// refinement and these report the quality achieved, so clients get a 200
@@ -346,6 +375,15 @@ func (s *Server) handleFactorize(w http.ResponseWriter, r *http.Request) {
 			s.metrics.RuntimeBytes.Add(sum.Bytes)
 		}
 	}
+	// Warm the solve path while we still own the factorize request: the solve
+	// DAG, the level-set plan for the schedule's processors and the packed
+	// solve panels are all built here, so the handle's first solve request
+	// pays none of the one-time cost.
+	plan, err := an.PrepareSolve(f)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
 	e := &factorEntry{fingerprint: fp, n: a.N, an: an, f: f}
 	e.batch = newBatcher(s.cfg.BatchWindow, s.cfg.MaxBatch, func(reqs []*solveReq) { s.runBatch(e, reqs) })
 	handle, err := s.store.Put(e)
@@ -358,6 +396,7 @@ func (s *Server) handleFactorize(w http.ResponseWriter, r *http.Request) {
 		Fingerprint:    fp,
 		AnalysisCached: hit,
 		FactorizeMS:    float64(wall) / float64(time.Millisecond),
+		SolvePlan:      &plan,
 	}
 	if rep := f.Perturbations(); rep != nil && len(rep.Perturbed) > 0 {
 		resp.PerturbedColumns = rep.Columns()
@@ -391,11 +430,15 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, err)
 		return
 	}
+	s.metrics.SolveRequests.Inc()
+	if req.Options != nil {
+		s.solveDirect(w, ctx, e, &req)
+		return
+	}
 	if len(req.B) != e.n {
 		s.writeErr(w, fmt.Errorf("rhs length %d, matrix order %d: %w", len(req.B), e.n, pastix.ErrShape))
 		return
 	}
-	s.metrics.SolveRequests.Inc()
 	t0 := time.Now()
 	ch := e.batch.submit(&solveReq{ctx: ctx, b: req.B})
 	select {
@@ -404,7 +447,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			s.writeErr(w, res.err)
 			return
 		}
-		s.writeJSON(w, http.StatusOK, solveResponse{
+		resp := solveResponse{
 			X:                res.x,
 			Batched:          res.batched,
 			SolveMS:          float64(time.Since(t0)) / float64(time.Millisecond),
@@ -412,10 +455,87 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			PerturbedColumns: res.perturbedCols,
 			BackwardError:    res.backwardErr,
 			RefineIters:      res.refineIters,
-		})
+		}
+		if res.plan != (pastix.PlanStats{}) {
+			plan := res.plan
+			resp.Plan = &plan
+		}
+		s.writeJSON(w, http.StatusOK, resp)
 	case <-ctx.Done():
 		s.writeErr(w, ctx.Err())
 	}
+}
+
+// solveDirect executes one options-bearing solve request through the unified
+// SolveOpts entry point, bypassing the batcher: a panel is already its own
+// batch, and a request pinning an engine or refinement must not be coalesced
+// with requests that did not ask for them. It takes its own worker slot (the
+// caller holds only a queue slot).
+func (s *Server) solveDirect(w http.ResponseWriter, ctx context.Context, e *factorEntry, req *solveRequest) {
+	opts := pastix.SolveOptions{NRHS: req.Options.NRHS}
+	if req.Options.Runtime != "" {
+		rt, err := pastix.ParseRuntime(req.Options.Runtime)
+		if err != nil {
+			s.writeErr(w, err)
+			return
+		}
+		opts.Runtime = rt
+	}
+	if req.Options.Refine != nil {
+		opts.Refine = &pastix.RefineOptions{Tol: req.Options.Refine.Tol, MaxIter: req.Options.Refine.MaxIter}
+	}
+	nrhs := opts.NRHS
+	if nrhs == 0 {
+		nrhs = 1
+	}
+	if nrhs < 0 || len(req.B) != e.n*nrhs {
+		s.writeErr(w, fmt.Errorf("rhs panel length %d, want n×nrhs = %d×%d: %w", len(req.B), e.n, nrhs, pastix.ErrShape))
+		return
+	}
+	// A perturbed factor gets the same degraded-success repair the batched
+	// path applies: refine every column and report the quality achieved.
+	rep := e.f.Perturbations()
+	degraded := rep != nil && len(rep.Perturbed) > 0
+	if degraded && opts.Refine == nil {
+		opts.Refine = &pastix.RefineOptions{}
+	}
+	select {
+	case s.active <- struct{}{}:
+		defer func() { <-s.active }()
+	case <-ctx.Done():
+		s.writeErr(w, ctx.Err())
+		return
+	case <-s.baseCtx.Done():
+		s.writeErr(w, s.baseCtx.Err())
+		return
+	}
+	t0 := time.Now()
+	res, err := e.an.SolveOpts(ctx, e.f, req.B, opts)
+	s.metrics.SolveSeconds.Observe(time.Since(t0).Seconds())
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	resp := solveResponse{
+		X:       res.X,
+		NRHS:    nrhs,
+		SolveMS: float64(time.Since(t0)) / float64(time.Millisecond),
+	}
+	if res.Plan != (pastix.PlanStats{}) {
+		plan := res.Plan
+		resp.Plan = &plan
+	}
+	if res.Refine != nil {
+		resp.BackwardError = res.Refine.BackwardError
+		resp.RefineIters = res.Refine.Iterations
+		if degraded {
+			resp.Degraded = true
+			resp.PerturbedColumns = rep.Columns()
+			s.metrics.DegradedSolves.Inc()
+			s.metrics.RefineIterations.Add(int64(res.Refine.Iterations))
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // runBatch executes one coalesced panel solve and demultiplexes the columns.
@@ -456,8 +576,13 @@ func (s *Server) runBatch(e *factorEntry, reqs []*solveReq) {
 		return
 	}
 	t0 := time.Now()
-	xs, err := e.an.SolveParallelManyContext(ctx, e.f, panel, k)
+	pres, err := e.an.SolveOpts(ctx, e.f, panel, pastix.SolveOptions{NRHS: k})
 	s.metrics.SolveSeconds.Observe(time.Since(t0).Seconds())
+	var xs []float64
+	var plan pastix.PlanStats
+	if err == nil {
+		xs, plan = pres.X, pres.Plan
+	}
 	rep := e.f.Perturbations()
 	degraded := rep != nil && len(rep.Perturbed) > 0
 	for i, r := range reqs {
@@ -467,7 +592,7 @@ func (s *Server) runBatch(e *factorEntry, reqs []*solveReq) {
 		}
 		x := make([]float64, n)
 		copy(x, xs[i*n:(i+1)*n])
-		res := solveRes{x: x, batched: k}
+		res := solveRes{x: x, batched: k, plan: plan}
 		if degraded {
 			// The factor was perturbed by static pivoting: repair each column
 			// with adaptive refinement and report the quality achieved, so the

@@ -3,6 +3,7 @@ package solver
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/pastix-go/pastix/internal/cost"
@@ -56,6 +57,14 @@ type Analysis struct {
 	// Phase durations of this analysis (ordering, elimination-tree +
 	// supernode work, block symbolic factorization, mapping + scheduling).
 	OrderTime, TreeTime, SymbolicTime, SchedTime time.Duration
+
+	// Solve-scheduling caches (levelsolve.go): the solve DAG is projected
+	// once per analysis and one SolvePlan is cached per worker count. Both
+	// are internally synchronized, so the Analysis remains safe for
+	// concurrent use.
+	solveDAGOnce sync.Once
+	solveDAG     *sched.SolveDAG
+	solvePlans   sync.Map // workers (int) -> *SolvePlan
 }
 
 // Analyze runs ordering, symbolic factorization, repartitioning, candidate

@@ -1,0 +1,126 @@
+package solver
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"github.com/pastix-go/pastix/internal/gen"
+	"github.com/pastix-go/pastix/internal/sparse"
+)
+
+// solveConformanceCorpus covers every generator family in internal/gen at
+// small sizes: the regular Poisson stencils, the FE shells/solids with
+// multiple DOFs per node, the irregular graded matrix and random SPD graphs.
+type solveConformanceCase struct {
+	name string
+	a    *sparse.SymMatrix
+}
+
+func solveConformanceCorpus() []solveConformanceCase {
+	return []solveConformanceCase{
+		{"poisson2d-14x14", gen.Laplacian2D(14, 14)},
+		{"poisson3d-6", gen.Laplacian3D(6, 6, 6)},
+		{"shell-8x8x3", gen.Shell(8, 8, 3)},
+		{"solid-4x4x4x3", gen.Solid(4, 4, 4, 3)},
+		{"thickshell-6x6x2x3", gen.ThickShell(6, 6, 2, 3)},
+		{"graded", gen.GradedPivot(4, 8, 1e-2, 0.05, false)},
+		{"randspd-seed5", gen.RandomSPD(150, 4, 5)},
+	}
+}
+
+// TestSolveConformanceTable is the cross-runtime solve conformance table of
+// the solve-path engine: every generator family × factors from the
+// sequential, shared and dynamic runtimes × the level-set engine (static
+// and dynamic dispatch) vs the legacy sweeps × 1 and 32 right-hand sides.
+//
+// The level-set legs assert BITWISE equality against the sequential
+// Factors.Solve of each column — the engine's core contract. The legacy
+// shared sweep accumulates contributions in arrival order under a lock, so
+// it is only equal to rounding; its legs assert a tolerance, which is
+// exactly why the level-set engine replaces it as the default.
+func TestSolveConformanceTable(t *testing.T) {
+	const nrhsWide = 32
+	for _, tc := range solveConformanceCorpus() {
+		t.Run(tc.name, func(t *testing.T) {
+			an := analyzeFor(t, tc.a, 4)
+			n := tc.a.N
+			_, b := gen.RHSForSolution(tc.a)
+			pb := make([]float64, n)
+			for newI, old := range an.Perm {
+				pb[newI] = b[old]
+			}
+			panel := make([]float64, n*nrhsWide)
+			for r := 0; r < nrhsWide; r++ {
+				for i := 0; i < n; i++ {
+					panel[i+r*n] = pb[i] * (1 + float64(r)/3)
+				}
+			}
+			for _, rt := range []Runtime{RuntimeSequential, RuntimeShared, RuntimeDynamic} {
+				f, err := an.FactorizeMatrixOptsCtx(context.Background(), an.A, ParOptions{Runtime: rt})
+				if err != nil {
+					t.Fatalf("%v factorize: %v", rt, err)
+				}
+				// Per-column sequential references.
+				refs := make([][]float64, nrhsWide)
+				for r := 0; r < nrhsWide; r++ {
+					col := append([]float64(nil), panel[r*n:(r+1)*n]...)
+					refs[r] = f.Solve(col)
+				}
+				pl := an.SolvePlanFor(4)
+
+				for _, dyn := range []bool{false, true} {
+					for _, nrhs := range []int{1, nrhsWide} {
+						x, err := SolveLevelCtx(context.Background(), pl, f, panel[:n*nrhs],
+							LevelOptions{NRHS: nrhs, Dynamic: dyn})
+						if err != nil {
+							t.Fatalf("%v level dyn=%v nrhs=%d: %v", rt, dyn, nrhs, err)
+						}
+						for r := 0; r < nrhs; r++ {
+							for i := 0; i < n; i++ {
+								if x[i+r*n] != refs[r][i] {
+									t.Fatalf("%v level dyn=%v nrhs=%d col %d: x[%d] = %x, seq %x (not bit-identical)",
+										rt, dyn, nrhs, r, i, x[i+r*n], refs[r][i])
+								}
+							}
+						}
+					}
+				}
+
+				// Legacy shared sweep (single RHS) — rounding-level agreement.
+				xs, err := SolveShared(an.Sched, f, pb)
+				if err != nil {
+					t.Fatalf("%v legacy shared: %v", rt, err)
+				}
+				legacyClose(t, tc.name+"/legacy-shared", xs, refs[0])
+
+				// Legacy panel sweep (mpsim data distribution) — rounding-level.
+				xm, err := SolveParManyOpts(context.Background(), an.Sched, f, panel, nrhsWide, SolveOptions{})
+				if err != nil {
+					t.Fatalf("%v legacy panel: %v", rt, err)
+				}
+				for r := 0; r < nrhsWide; r++ {
+					legacyClose(t, tc.name+"/legacy-panel", xm[r*n:(r+1)*n], refs[r])
+				}
+			}
+		})
+	}
+}
+
+func legacyClose(t *testing.T, name string, got, want []float64) {
+	t.Helper()
+	scale := 0.0
+	for _, v := range want {
+		if a := math.Abs(v); a > scale {
+			scale = a
+		}
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	for i := range want {
+		if d := math.Abs(got[i] - want[i]); d > 1e-9*scale {
+			t.Fatalf("%s: x[%d] off by %g (scale %g)", name, i, d, scale)
+		}
+	}
+}

@@ -7,6 +7,7 @@ package solver
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/pastix-go/pastix/internal/blas"
 	"github.com/pastix-go/pastix/internal/sparse"
@@ -28,6 +29,12 @@ type Factors struct {
 	// Perturbed list) whenever pivoting was enabled, even if no pivot needed
 	// substitution.
 	Pivots *PerturbationReport
+
+	// Packed solve panels for the level-set engine (levelsolve.go), built
+	// lazily once the factor values are final. Internally synchronized; must
+	// not be warmed before the factorization completes.
+	packOnce sync.Once
+	pack     *solvePack
 }
 
 // NewFactors allocates zeroed storage for every column block of sym.

@@ -38,7 +38,6 @@ import (
 	"github.com/pastix-go/pastix/internal/part"
 	"github.com/pastix-go/pastix/internal/solver"
 	"github.com/pastix-go/pastix/internal/sparse"
-	"github.com/pastix-go/pastix/internal/trace"
 )
 
 // Matrix is a symmetric sparse matrix (lower triangle stored, CSC).
@@ -286,13 +285,6 @@ func (an *Analysis) parOpts() solver.ParOptions {
 	return solver.ParOptions{Runtime: an.runtime, Faults: an.faults, Pivot: an.pivot}
 }
 
-// sharedLayout reports whether the numerical phases run over the
-// shared-memory data layout (the static shared or dynamic work-stealing
-// engine), which is what SolveParallel keys its solve engine on.
-func (an *Analysis) sharedLayout() bool {
-	return an.runtime == RuntimeShared || an.runtime == RuntimeDynamic
-}
-
 // Factor holds the numerical factorization L·D·Lᵀ.
 type Factor struct {
 	inner *solver.Factors
@@ -415,21 +407,25 @@ func (an *Analysis) FactorizeContext(ctx context.Context) (*Factor, error) {
 	return &Factor{inner: f, an: an.inner, pa: an.inner.A}, nil
 }
 
-// Solve returns x with A·x = b (original ordering; b is not modified).
+// Solve returns x with A·x = b (original ordering; b is not modified). It is
+// SolveOpts with Runtime: RuntimeSequential — the bitwise reference every
+// parallel solve engine is measured against.
 func (an *Analysis) Solve(f *Factor, b []float64) ([]float64, error) {
-	if f == nil || f.an != an.inner {
-		return nil, ErrFactorMismatch
+	res, err := an.SolveOpts(context.Background(), f, b, SolveOptions{Runtime: RuntimeSequential})
+	if err != nil {
+		return nil, err
 	}
-	if len(b) != an.inner.A.N {
-		return nil, fmt.Errorf("pastix: rhs length %d, matrix order %d: %w", len(b), an.inner.A.N, ErrShape)
-	}
-	return an.inner.SolveOriginal(f.inner, b), nil
+	return res.X, nil
 }
 
-// SolveParallel solves A·x = b with the parallel block triangular solves on
-// the schedule's processors — message-passing, or shared-memory when the
-// analysis was built with Options.SharedMemory (same result as Solve to
-// rounding either way).
+// SolveParallel solves A·x = b with the parallel block triangular solves.
+// Since the solve-path redesign it is SolveOpts with default options: the
+// level-set engine (bitwise-identical to Solve) on the shared-memory data
+// layout, the message-passing sweep for analyses pinned to RuntimeMPSim or
+// running fault injection.
+//
+// Deprecated: use SolveOpts, which also exposes multiple right-hand sides,
+// refinement and tracing through one call.
 func (an *Analysis) SolveParallel(f *Factor, b []float64) ([]float64, error) {
 	return an.SolveParallelContext(context.Background(), f, b)
 }
@@ -437,42 +433,23 @@ func (an *Analysis) SolveParallel(f *Factor, b []float64) ([]float64, error) {
 // SolveParallelContext is SolveParallel under a context: cancelling ctx
 // aborts both sweeps, unwinding every worker goroutine before returning
 // ctx.Err().
+//
+// Deprecated: use SolveOpts.
 func (an *Analysis) SolveParallelContext(ctx context.Context, f *Factor, b []float64) ([]float64, error) {
-	return an.solveParallel(ctx, f, b, nil)
-}
-
-func (an *Analysis) solveParallel(ctx context.Context, f *Factor, b []float64, rec *trace.Recorder) ([]float64, error) {
-	if f == nil || f.an != an.inner {
-		return nil, ErrFactorMismatch
-	}
-	if len(b) != an.inner.A.N {
-		return nil, fmt.Errorf("pastix: rhs length %d, matrix order %d: %w", len(b), an.inner.A.N, ErrShape)
-	}
-	pb := make([]float64, len(b))
-	for newI, old := range an.inner.Perm {
-		pb[newI] = b[old]
-	}
-	var px []float64
-	var err error
-	if an.sharedLayout() {
-		px, err = solver.SolveSharedCtx(ctx, an.inner.Sched, f.inner, pb, rec)
-	} else {
-		px, err = solver.SolveParOpts(ctx, an.inner.Sched, f.inner, pb, solver.SolveOptions{Trace: rec, Faults: an.faults})
-	}
+	res, err := an.solveOpts(ctx, f, b, SolveOptions{}, nil)
 	if err != nil {
 		return nil, err
 	}
-	x := make([]float64, len(b))
-	for newI, old := range an.inner.Perm {
-		x[old] = px[newI]
-	}
-	return x, nil
+	return res.X, nil
 }
 
 // SolveMany solves A·X = B for nrhs right-hand sides at once (b is an
 // n×nrhs column-major panel in the original ordering; the solution panel is
-// returned in the same layout). Block kernels make this faster than nrhs
-// separate Solve calls.
+// returned in the same layout). It is SolveOpts with the sequential panel
+// kernels pinned.
+//
+// Deprecated: use SolveOpts with SolveOptions.NRHS, which defaults to the
+// parallel level-set engine.
 func (an *Analysis) SolveMany(f *Factor, b []float64, nrhs int) ([]float64, error) {
 	n := an.inner.A.N
 	if f == nil || f.an != an.inner {
@@ -481,20 +458,11 @@ func (an *Analysis) SolveMany(f *Factor, b []float64, nrhs int) ([]float64, erro
 	if nrhs <= 0 || len(b) != n*nrhs {
 		return nil, fmt.Errorf("pastix: rhs panel must be n×nrhs = %d×%d: %w", n, nrhs, ErrShape)
 	}
-	pb := make([]float64, len(b))
-	for r := 0; r < nrhs; r++ {
-		for newI, old := range an.inner.Perm {
-			pb[newI+r*n] = b[old+r*n]
-		}
+	res, err := an.SolveOpts(context.Background(), f, b, SolveOptions{NRHS: nrhs, Runtime: RuntimeSequential})
+	if err != nil {
+		return nil, err
 	}
-	px := f.inner.SolveMany(pb, nrhs)
-	x := make([]float64, len(b))
-	for r := 0; r < nrhs; r++ {
-		for newI, old := range an.inner.Perm {
-			x[old+r*n] = px[newI+r*n]
-		}
-	}
-	return x, nil
+	return res.X, nil
 }
 
 // PatternFingerprint returns a 128-bit hex fingerprint of the sparsity
@@ -545,14 +513,15 @@ func (an *Analysis) permuteSamePattern(a *Matrix) (*sparse.SymMatrix, error) {
 }
 
 // SolveParallelMany solves A·X = B for nrhs right-hand sides in ONE panel
-// sweep of the parallel block triangular solves: each solution-segment
-// message carries all nrhs columns and the block kernels run with BLAS-3
-// shape, so a server coalescing concurrent single-RHS requests into a panel
-// pays the solve's synchronization and message latency once instead of nrhs
-// times. b is an n×nrhs column-major panel in the original ordering. The
-// panel runs on the message-passing runtime regardless of
-// Options.SharedMemory; column r of the result is bit-identical to a
-// message-passing SolveParallel of column r.
+// sweep of the parallel block triangular solves, so a server coalescing
+// concurrent single-RHS requests into a panel pays the solve's
+// synchronization latency once instead of nrhs times. b is an n×nrhs
+// column-major panel in the original ordering. Since the solve-path redesign
+// the panel runs on the engine SolveOpts resolves (the level-set engine by
+// default, each column bit-identical to Solve); pin RuntimeMPSim for the
+// historical message-passing panel sweep.
+//
+// Deprecated: use SolveOpts with SolveOptions.NRHS.
 func (an *Analysis) SolveParallelMany(f *Factor, b []float64, nrhs int) ([]float64, error) {
 	return an.SolveParallelManyContext(context.Background(), f, b, nrhs)
 }
@@ -560,6 +529,8 @@ func (an *Analysis) SolveParallelMany(f *Factor, b []float64, nrhs int) ([]float
 // SolveParallelManyContext is SolveParallelMany under a context: cancelling
 // ctx aborts both sweeps, unwinding every worker goroutine before returning
 // ctx.Err().
+//
+// Deprecated: use SolveOpts with SolveOptions.NRHS.
 func (an *Analysis) SolveParallelManyContext(ctx context.Context, f *Factor, b []float64, nrhs int) ([]float64, error) {
 	n := an.inner.A.N
 	if f == nil || f.an != an.inner {
@@ -568,40 +539,31 @@ func (an *Analysis) SolveParallelManyContext(ctx context.Context, f *Factor, b [
 	if nrhs <= 0 || len(b) != n*nrhs {
 		return nil, fmt.Errorf("pastix: rhs panel must be n×nrhs = %d×%d: %w", n, nrhs, ErrShape)
 	}
-	pb := make([]float64, len(b))
-	for r := 0; r < nrhs; r++ {
-		for newI, old := range an.inner.Perm {
-			pb[newI+r*n] = b[old+r*n]
-		}
-	}
-	px, err := solver.SolveParManyOpts(ctx, an.inner.Sched, f.inner, pb, nrhs, solver.SolveOptions{Faults: an.faults})
+	res, err := an.solveOpts(ctx, f, b, SolveOptions{NRHS: nrhs}, nil)
 	if err != nil {
 		return nil, err
 	}
-	x := make([]float64, len(b))
-	for r := 0; r < nrhs; r++ {
-		for newI, old := range an.inner.Perm {
-			x[old+r*n] = px[newI+r*n]
-		}
-	}
-	return x, nil
+	return res.X, nil
 }
 
 // SolveRefined solves A·x = b and applies up to iters steps of iterative
 // refinement, stopping early on convergence or stagnation.
 //
 // Deprecated: SolveRefined discards the convergence information and takes a
-// bare iteration count. Use SolveRefinedStats, which iterates adaptively
-// until Options.RefineTol is met or the backward error stagnates and reports
-// the full trajectory. This wrapper remains as SolveRefinedStats capped at
-// iters sweeps.
+// bare iteration count. Use SolveOpts with SolveOptions.Refine, which
+// iterates adaptively until the backward-error target is met or stagnates
+// and reports the full trajectory. This wrapper remains as that call capped
+// at iters sweeps.
 func (an *Analysis) SolveRefined(f *Factor, b []float64, iters int) ([]float64, error) {
-	x, err := an.Solve(f, b)
-	if err != nil || iters <= 0 {
-		return x, err
+	if iters <= 0 {
+		return an.Solve(f, b)
 	}
-	x, _, err = an.refineOriginal(f, b, x, iters)
-	return x, err
+	res, err := an.SolveOpts(context.Background(), f, b,
+		SolveOptions{Runtime: RuntimeSequential, Refine: &RefineOptions{MaxIter: iters}})
+	if err != nil {
+		return nil, err
+	}
+	return res.X, nil
 }
 
 // SolveRefinedStats solves A·x = b and applies adaptive iterative
@@ -609,12 +571,15 @@ func (an *Analysis) SolveRefined(f *Factor, b []float64, iters int) ([]float64, 
 // ‖Ax−b‖∞/(‖A‖∞‖x‖∞+‖b‖∞) meets Options.RefineTol (default 1e-10) or
 // stagnates. The returned RefineStats carries the sweep count and the
 // non-increasing backward-error trajectory.
+//
+// Deprecated: use SolveOpts with SolveOptions.Refine.
 func (an *Analysis) SolveRefinedStats(f *Factor, b []float64) ([]float64, RefineStats, error) {
-	x, err := an.Solve(f, b)
+	res, err := an.SolveOpts(context.Background(), f, b,
+		SolveOptions{Runtime: RuntimeSequential, Refine: &RefineOptions{}})
 	if err != nil {
 		return nil, RefineStats{}, err
 	}
-	return an.refineOriginal(f, b, x, 0)
+	return res.X, *res.Refine, nil
 }
 
 // RefineSolution applies adaptive iterative refinement to an existing

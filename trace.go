@@ -80,7 +80,11 @@ func (an *Analysis) SolveParallelTraced(ctx context.Context, f *Factor, b []floa
 	if tr != nil {
 		rec = tr.rec
 	}
-	return an.solveParallel(ctx, f, b, rec)
+	res, err := an.solveOpts(ctx, f, b, SolveOptions{}, rec)
+	if err != nil {
+		return nil, err
+	}
+	return res.X, nil
 }
 
 // WriteChromeTrace writes the recorded events in the Chrome trace-event JSON
