@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet fmt-check check chaos numstress dynstress solvestress fuzz serve-smoke ci
+.PHONY: all build test race bench vet fmt-check check chaos numstress dynstress solvestress hastress fuzz serve-smoke ci
 
 all: ci
 
@@ -72,6 +72,16 @@ solvestress:
 		-run 'SolveDAG|SolvePlan|LevelSolve|LevelStorm|SolveLevel|Packed|SolveConformance|SolveOpts|PrepareSolve|ServerSolveOptions' \
 		./internal/solver ./internal/blas ./internal/service .
 
+# HA-serving stress soak: the sharded gateway suites under the race
+# detector — consistent-hash ring and breaker units, the retrying client's
+# deterministic backoff schedule, end-to-end replicated factorize with
+# kill/restart/hedge/drain failover, the service idempotency and readiness
+# layers, and the multi-seed node-kill chaos soak (every accepted solve
+# bit-identical to a fault-free single-node run).
+hastress:
+	$(GO) test -race -timeout 600s -count=1 ./internal/gateway/...
+	$(GO) test -race -timeout 300s -run 'Readyz|BodyLimit|Idempotent|Drain' ./internal/service
+
 # Short coverage-guided fuzz pass over the sparse-matrix invariants, the
 # file parsers and the task-DAG executor (10s each keeps CI bounded; raise
 # -fuzztime for a real hunt).
@@ -89,6 +99,6 @@ serve-smoke:
 	$(GO) run ./cmd/pastix-serve -smoke
 
 # The CI entry point (and default target): build, vet+gofmt, tests, race,
-# the chaos, numerical-stress, dynamic-runtime and solve-path soaks, a short
-# fuzz pass, then the serving smoke test.
-ci: build vet test race chaos numstress dynstress solvestress fuzz serve-smoke
+# the chaos, numerical-stress, dynamic-runtime, solve-path and HA-serving
+# soaks, a short fuzz pass, then the serving smoke test.
+ci: build vet test race chaos numstress dynstress solvestress hastress fuzz serve-smoke

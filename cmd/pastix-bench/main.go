@@ -74,12 +74,20 @@ func main() {
 		serveReqs    = flag.Int("servereqs", 200, "solve requests per load point for -servetest")
 		serveClients = flag.String("serveclients", "2,8", "concurrent client counts for the -servetest load points")
 		serveOut     = flag.String("serveout", "BENCH_solve_throughput.json", "JSON output file for the -servetest report")
+
+		gwTest    = flag.Bool("gateway", false, "measure HA-gateway serving throughput and node-kill failover cost (QPS/p50/p99 at 0 and 1 kills per client count)")
+		gwGrid    = flag.Int("gwgrid", 12, "Poisson grid edge for -gateway (n³ unknowns)")
+		gwProcs   = flag.Int("gwprocs", 4, "solver worker count per backend for -gateway")
+		gwNodes   = flag.Int("gwnodes", 3, "backend nodes behind the gateway for -gateway")
+		gwReqs    = flag.Int("gwreqs", 200, "solve requests per load point for -gateway")
+		gwClients = flag.String("gwclients", "2,8", "concurrent client counts for the -gateway load points")
+		gwOut     = flag.String("gwout", "BENCH_gateway_failover.json", "JSON output file for the -gateway report")
 	)
 	flag.Parse()
 	if *all {
 		*table1, *table2, *dense, *ablate = true, true, true, true
 	}
-	if !*table1 && !*table2 && !*dense && !*ablate && !*sharedCmp && !*batchRHS && !*diverge && !*dynCmp && !*serveTest && *plot == "" && *bsweep == "" {
+	if !*table1 && !*table2 && !*dense && !*ablate && !*sharedCmp && !*batchRHS && !*diverge && !*dynCmp && !*serveTest && !*gwTest && *plot == "" && *bsweep == "" {
 		flag.Usage()
 		return
 	}
@@ -289,6 +297,36 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Printf("report written to %s\n", *serveOut)
+		}
+		fmt.Println()
+	}
+	if *gwTest {
+		var clients []int
+		for _, s := range strings.Split(*gwClients, ",") {
+			c, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || c < 1 {
+				log.Fatalf("bad -gwclients entry %q", s)
+			}
+			clients = append(clients, c)
+		}
+		fmt.Printf("== HA gateway: throughput and node-kill failover cost, %d nodes ==\n", *gwNodes)
+		rp, err := servebench.GatewayTest(*gwGrid, *gwProcs, *gwNodes, *gwReqs, clients)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(servebench.FormatGatewayReport(rp))
+		if rp.Note != "" {
+			fmt.Printf("note: %s\n", rp.Note)
+		}
+		if *gwOut != "" {
+			data, err := rp.MarshalPretty()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(*gwOut, data, 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("report written to %s\n", *gwOut)
 		}
 		fmt.Println()
 	}

@@ -43,6 +43,7 @@ func main() {
 		pivotEps    = flag.Float64("pivot-eps", 0, "static-pivot threshold ε_piv relative to ‖A‖_max (0 = no pivoting)")
 		pivotRetry  = flag.Int("pivot-retries", 0, "ε-escalation attempts when a factorization breaks down (0 = fail fast)")
 		refineTol   = flag.Float64("refine-tol", 0, "backward-error target for refinement of degraded solves (0 = default 1e-10)")
+		maxBody     = flag.Int64("max-body", 0, "request body cap in bytes; oversized bodies get a structured 413 (0 = default 64 MiB)")
 		smoke       = flag.Bool("smoke", false, "run the end-to-end serving smoke test and exit")
 	)
 	flag.Parse()
@@ -65,6 +66,7 @@ func main() {
 		QueueDepth:      *queueDepth,
 		Workers:         *workers,
 		DefaultDeadline: *deadline,
+		MaxBodyBytes:    *maxBody,
 	}
 
 	if *smoke {
@@ -82,7 +84,7 @@ func main() {
 }
 
 // serve runs the daemon until SIGINT/SIGTERM, then drains gracefully: new
-// requests are refused (503, /healthz flips to "draining"), the listener
+// requests are refused (503, /readyz flips to "draining"), the listener
 // stops, and in-flight solves — including parked batch riders — finish
 // before the process exits.
 func serve(cfg service.Config, addr string) error {
@@ -96,7 +98,15 @@ func serve(cfg service.Config, addr string) error {
 		return err
 	}
 	log.Printf("pastix-serve listening on %s", ln.Addr())
-	hs := &http.Server{Handler: s.Handler()}
+	// ReadHeaderTimeout caps how long a connection may sit between accept and
+	// a complete request line (slowloris); IdleTimeout reclaims keep-alive
+	// connections parked by dead clients. Body size is bounded separately by
+	// MaxBodyBytes inside the handlers.
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)

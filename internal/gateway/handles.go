@@ -1,0 +1,65 @@
+package gateway
+
+import (
+	"fmt"
+	"sync"
+)
+
+// replicaRef is one backend's copy of a replicated factorization.
+type replicaRef struct {
+	Backend int    // backend index
+	Handle  string // that backend's own factor handle
+}
+
+// gwHandle maps one gateway-issued factor handle to the replica set that
+// holds the factor. Order matters: replicas[0] is the primary (solve
+// affinity routes there first), the rest are failover targets.
+type gwHandle struct {
+	fingerprint string
+	replicas    []replicaRef
+}
+
+// handleTable issues and resolves gateway factor handles. A gateway handle
+// is the unit of factor-handle affinity: a solve against it routes to the
+// node that made the factor, falling back through the replicas.
+type handleTable struct {
+	mu  sync.Mutex
+	seq uint64
+	m   map[string]*gwHandle
+}
+
+func newHandleTable() *handleTable {
+	return &handleTable{m: make(map[string]*gwHandle)}
+}
+
+func (t *handleTable) put(fingerprint string, replicas []replicaRef) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	h := fmt.Sprintf("g-%06d-%.8s", t.seq, fingerprint)
+	t.m[h] = &gwHandle{fingerprint: fingerprint, replicas: replicas}
+	return h
+}
+
+func (t *handleTable) get(handle string) (*gwHandle, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h, ok := t.m[handle]
+	return h, ok
+}
+
+func (t *handleTable) del(handle string) (*gwHandle, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h, ok := t.m[handle]
+	if ok {
+		delete(t.m, handle)
+	}
+	return h, ok
+}
+
+func (t *handleTable) len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}

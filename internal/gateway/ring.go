@@ -1,0 +1,92 @@
+package gateway
+
+import (
+	"sort"
+
+	"github.com/pastix-go/pastix/internal/gateway/client"
+)
+
+// ring is a consistent-hash ring over backend indices with virtual nodes.
+// Routing a key walks the ring clockwise from the key's hash, yielding every
+// backend exactly once in a key-deterministic preference order — position 0
+// is the shard primary, positions 1..R-1 its factorize replicas. Because the
+// order depends only on (seed, backends, key), routing is a pure function of
+// the request the way the paper's block mapping is a pure function of the
+// analysis: any gateway instance with the same configuration routes a
+// fingerprint identically, with no coordination.
+type ring struct {
+	n      int
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash    uint64
+	backend int
+}
+
+// mix64 is the splitmix64 finalizer (the internal/faults discipline).
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// newRing places vnodes points per backend, hashed from (seed, backend,
+// vnode) — no dependence on backend URLs, so renaming a node does not remap
+// the space, only adding or removing one does.
+func newRing(n, vnodes int, seed int64) *ring {
+	r := &ring{n: n, points: make([]ringPoint, 0, n*vnodes)}
+	for b := 0; b < n; b++ {
+		for v := 0; v < vnodes; v++ {
+			h := mix64(mix64(uint64(seed)) ^ mix64(uint64(b)<<20|uint64(v)))
+			r.points = append(r.points, ringPoint{hash: h, backend: b})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].backend < r.points[j].backend
+	})
+	return r
+}
+
+// order returns all backends in the key's clockwise preference order.
+func (r *ring) order(key string) []int {
+	out := make([]int, 0, r.n)
+	if len(r.points) == 0 {
+		return out
+	}
+	h := client.Key(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make([]bool, r.n)
+	for i := 0; len(out) < r.n && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.backend] {
+			seen[p.backend] = true
+			out = append(out, p.backend)
+		}
+	}
+	return out
+}
+
+// capacity is the bounded-load ceiling (consistent hashing with bounded
+// loads): with m requests in flight across n backends and expansion factor
+// c ≥ 1, no backend may take more than ceil(c·(m+1)/n). A hot pattern whose
+// primary is saturated spills to the next backend on its ring walk instead
+// of melting the shard.
+func capacity(c float64, inflightTotal int64, n int) int64 {
+	if c < 1 {
+		c = 1
+	}
+	m := float64(inflightTotal + 1)
+	cap := int64(c * m / float64(n))
+	if float64(cap)*float64(n) < c*m {
+		cap++
+	}
+	if cap < 1 {
+		cap = 1
+	}
+	return cap
+}

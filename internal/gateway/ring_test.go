@@ -1,0 +1,172 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// The ring walk is deterministic, yields every backend exactly once, and is
+// a pure function of (seed, n, key).
+func TestRingOrderDeterministicAndComplete(t *testing.T) {
+	const n = 5
+	r := newRing(n, 64, 42)
+	for k := 0; k < 50; k++ {
+		key := fmt.Sprintf("fingerprint-%d", k)
+		o1 := r.order(key)
+		o2 := r.order(key)
+		if len(o1) != n {
+			t.Fatalf("order(%q) has %d entries, want %d", key, len(o1), n)
+		}
+		seen := make(map[int]bool)
+		for i := range o1 {
+			if o1[i] != o2[i] {
+				t.Fatalf("order(%q) not deterministic: %v vs %v", key, o1, o2)
+			}
+			if seen[o1[i]] {
+				t.Fatalf("order(%q) repeats backend %d: %v", key, o1[i], o1)
+			}
+			seen[o1[i]] = true
+		}
+	}
+	// An independently built ring with the same config agrees — routing needs
+	// no coordination between gateway instances.
+	r2 := newRing(n, 64, 42)
+	for k := 0; k < 20; k++ {
+		key := fmt.Sprintf("fingerprint-%d", k)
+		a, b := r.order(key), r2.order(key)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("two rings with identical config disagree on %q: %v vs %v", key, a, b)
+			}
+		}
+	}
+}
+
+// Virtual nodes spread primaries across backends, and the seed moves them.
+func TestRingDistributionAndSeed(t *testing.T) {
+	const n, keys = 4, 2000
+	r := newRing(n, 64, 1)
+	counts := make([]int, n)
+	for k := 0; k < keys; k++ {
+		counts[r.order(fmt.Sprintf("key-%d", k))[0]]++
+	}
+	for b, c := range counts {
+		if c < keys/n/4 {
+			t.Fatalf("backend %d owns only %d/%d primaries: %v", b, c, keys, counts)
+		}
+	}
+	r2 := newRing(n, 64, 2)
+	moved := 0
+	for k := 0; k < 200; k++ {
+		key := fmt.Sprintf("key-%d", k)
+		if r.order(key)[0] != r2.order(key)[0] {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("changing the seed moved no primaries at all")
+	}
+}
+
+// capacity implements ceil(c·(m+1)/n) with a floor of 1.
+func TestBoundedLoadCapacity(t *testing.T) {
+	cases := []struct {
+		c    float64
+		m    int64
+		n    int
+		want int64
+	}{
+		{1.5, 0, 3, 1},  // ceil(1.5/3) = 1
+		{1.5, 8, 3, 5},  // ceil(13.5/3) = 5
+		{1.0, 5, 2, 3},  // ceil(6/2) = 3
+		{2.0, 3, 4, 2},  // ceil(8/4) = 2
+		{1.0, 0, 10, 1}, // floor of 1
+	}
+	for _, tc := range cases {
+		if got := capacity(tc.c, tc.m, tc.n); got != tc.want {
+			t.Errorf("capacity(%v, %d, %d) = %d, want %d", tc.c, tc.m, tc.n, got, tc.want)
+		}
+	}
+}
+
+// The breaker walks closed → open → half-open → closed (on trial success) or
+// back to open (on trial failure), admitting exactly one trial at a time.
+func TestBreakerTransitions(t *testing.T) {
+	const threshold = 3
+	cooldown := 100 * time.Millisecond
+	now := time.Now()
+	b := &backendHealth{id: 0, url: "http://x"}
+
+	for i := 0; i < threshold-1; i++ {
+		b.onFailure("boom", threshold, cooldown, now)
+		if !b.allow(now) {
+			t.Fatalf("breaker opened after %d failures, threshold is %d", i+1, threshold)
+		}
+	}
+	b.onFailure("boom", threshold, cooldown, now)
+	if b.allow(now) {
+		t.Fatal("breaker still admits after reaching the failure threshold")
+	}
+
+	// Cooldown expiry: exactly one half-open trial is admitted.
+	later := now.Add(cooldown + time.Millisecond)
+	if !b.allow(later) {
+		t.Fatal("breaker does not admit a trial after the cooldown")
+	}
+	if b.allow(later) {
+		t.Fatal("breaker admits a second concurrent half-open trial")
+	}
+
+	// Failed trial re-opens immediately for another cooldown.
+	b.onFailure("still down", threshold, cooldown, later)
+	if b.allow(later.Add(time.Millisecond)) {
+		t.Fatal("breaker admits right after a failed half-open trial")
+	}
+
+	// Next trial succeeds: breaker closes and traffic flows freely.
+	again := later.Add(cooldown + 2*time.Millisecond)
+	if !b.allow(again) {
+		t.Fatal("breaker does not re-trial after the second cooldown")
+	}
+	b.onSuccess(5 * time.Millisecond)
+	if !b.allow(again) || !b.allow(again) {
+		t.Fatal("closed breaker throttles traffic")
+	}
+
+	// routable additionally requires a passing probe and no drain.
+	if b.routable(again) {
+		t.Fatal("routable without a successful probe")
+	}
+	b.mu.Lock()
+	b.probeOK = true
+	b.mu.Unlock()
+	if !b.routable(again) {
+		t.Fatal("healthy closed backend not routable")
+	}
+	b.mu.Lock()
+	b.draining = true
+	b.mu.Unlock()
+	if b.routable(again) {
+		t.Fatal("draining backend still routable")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err == nil {
+		t.Fatal("empty backend list accepted")
+	}
+	if err := (Config{Backends: []string{"http://a"}, LoadFactor: 0.5}).Validate(); err == nil {
+		t.Fatal("LoadFactor below 1 accepted")
+	}
+	if err := (Config{Backends: []string{"http://a"}, Replicas: -1}).Validate(); err == nil {
+		t.Fatal("negative replicas accepted")
+	}
+	if err := (Config{Backends: []string{"http://a", "http://b"}}).Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cfg := Config{Backends: []string{"http://a"}, Replicas: 7}.withDefaults()
+	if cfg.Replicas != 1 {
+		t.Fatalf("Replicas not capped at backend count: %d", cfg.Replicas)
+	}
+}

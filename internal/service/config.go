@@ -61,6 +61,16 @@ type Config struct {
 	// DefaultDeadline applies to requests that carry no deadline_ms of their
 	// own (default 30s).
 	DefaultDeadline time.Duration
+	// MaxBodyBytes caps a request body (default 64 MiB). Oversized bodies are
+	// cut off by http.MaxBytesReader and answered with a structured 413
+	// instead of being buffered into memory.
+	MaxBodyBytes int64
+	// IdempotencyKeys bounds the remembered factorize idempotency keys
+	// (default 512). A factorize request carrying idempotency_key replays the
+	// original response — same handle, no second factorization — when the key
+	// is still remembered, which is what makes gateway retries of a factorize
+	// that actually committed safe.
+	IdempotencyKeys int
 }
 
 // Validate checks the configuration, rejecting service-nonsensical
@@ -92,6 +102,12 @@ func (c Config) Validate() error {
 	if c.DefaultDeadline < 0 {
 		return fmt.Errorf("%w: DefaultDeadline %v is negative", ErrBadConfig, c.DefaultDeadline)
 	}
+	if c.MaxBodyBytes < 0 {
+		return fmt.Errorf("%w: MaxBodyBytes %d is negative", ErrBadConfig, c.MaxBodyBytes)
+	}
+	if c.IdempotencyKeys < 0 {
+		return fmt.Errorf("%w: IdempotencyKeys %d is negative", ErrBadConfig, c.IdempotencyKeys)
+	}
 	return nil
 }
 
@@ -120,6 +136,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DefaultDeadline == 0 {
 		c.DefaultDeadline = 30 * time.Second
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.IdempotencyKeys == 0 {
+		c.IdempotencyKeys = 512
 	}
 	return c
 }

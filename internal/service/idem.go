@@ -1,0 +1,78 @@
+package service
+
+import "sync"
+
+// idemStore remembers the responses of the last max successful factorize
+// requests by client idempotency key, FIFO-evicted. A retry carrying a
+// remembered key replays the stored response instead of running a second
+// factorization — the property that makes a gateway's retry-after-timeout of
+// a factorize that actually committed safe (exactly-once handles over an
+// at-least-once transport, the same shape as mpsim's receiver dedup).
+//
+// Replay is best-effort across concurrent duplicates: two simultaneous
+// first requests with one key may both factorize (no single-flight); the
+// second put wins and later retries replay it. Sequential retries — the
+// gateway's pattern — always replay.
+type idemStore struct {
+	mu       sync.Mutex
+	max      int
+	m        map[string]factorizeResponse
+	byHandle map[string]string // handle → key, for release-time invalidation
+	order    []string          // insertion order, oldest first
+}
+
+func newIdemStore(max int) *idemStore {
+	return &idemStore{
+		max:      max,
+		m:        make(map[string]factorizeResponse),
+		byHandle: make(map[string]string),
+	}
+}
+
+// get returns the remembered response for key, if any.
+func (s *idemStore) get(key string) (factorizeResponse, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.m[key]
+	return r, ok
+}
+
+// put remembers resp under key, evicting the oldest entry beyond the bound.
+func (s *idemStore) put(key, handle string, resp factorizeResponse) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.m[key]; !exists {
+		s.order = append(s.order, key)
+	}
+	s.m[key] = resp
+	s.byHandle[handle] = key
+	for len(s.order) > s.max {
+		old := s.order[0]
+		s.order = s.order[1:]
+		if r, ok := s.m[old]; ok {
+			delete(s.m, old)
+			if s.byHandle[r.Handle] == old {
+				delete(s.byHandle, r.Handle)
+			}
+		}
+	}
+}
+
+// dropHandle forgets the entry that issued handle (called on release, so a
+// replayed key can never resurrect a dead handle).
+func (s *idemStore) dropHandle(handle string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key, ok := s.byHandle[handle]
+	if !ok {
+		return
+	}
+	delete(s.byHandle, handle)
+	delete(s.m, key)
+	for i, k := range s.order {
+		if k == key {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}

@@ -161,9 +161,9 @@ func TestServerRobustFallback(t *testing.T) {
 	}
 }
 
-// Graceful shutdown: BeginDrain flips /healthz to 503 and sheds new requests
-// with 503, while a solve already parked in the batch window completes and
-// Drain returns once it has.
+// Graceful shutdown: BeginDrain flips /readyz to 503 (while /healthz stays a
+// 200 liveness signal) and sheds new requests with 503, while a solve already
+// parked in the batch window completes and Drain returns once it has.
 func TestServerDrain(t *testing.T) {
 	s, err := New(Config{
 		Solver:      pastix.Options{Processors: 2},
@@ -198,17 +198,27 @@ func TestServerDrain(t *testing.T) {
 	time.Sleep(50 * time.Millisecond)
 	s.BeginDrain()
 
-	resp, err := http.Get(ts.URL + "/healthz")
+	resp, err := http.Get(ts.URL + "/readyz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	text := readAll(t, resp)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("healthz status %d while draining, want 503", resp.StatusCode)
+		t.Fatalf("readyz status %d while draining, want 503", resp.StatusCode)
 	}
 	if !strings.Contains(text, `"draining"`) {
-		t.Fatalf("healthz body %q does not report draining", text)
+		t.Fatalf("readyz body %q does not report draining", text)
+	}
+	// Liveness is unaffected by draining: the process is healthy, just not
+	// routable.
+	live, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	live.Body.Close()
+	if live.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d while draining, want 200 (liveness)", live.StatusCode)
 	}
 	if st := postJSON(t, ts.URL+"/v1/analyze", matrixRequest{MatrixMarket: mm}, nil); st != http.StatusServiceUnavailable {
 		t.Fatalf("new request during drain: status %d, want 503", st)

@@ -28,12 +28,13 @@ type Server struct {
 	metrics *Metrics
 	cache   *analysisCache
 	store   *factorStore
+	idem    *idemStore
 
 	queue  chan struct{} // admission slots (queued or executing)
 	active chan struct{} // worker slots (executing)
 
 	// draining flips on BeginDrain: admission refuses new requests with 503
-	// and /healthz reports "draining" so load balancers stop routing here,
+	// and /readyz reports "draining" so load balancers stop routing here,
 	// while already-admitted requests (including parked batch riders) finish.
 	draining atomic.Bool
 
@@ -54,6 +55,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:     cfg,
 		metrics: m,
 		store:   newFactorStore(cfg.MaxFactors),
+		idem:    newIdemStore(cfg.IdempotencyKeys),
 		queue:   make(chan struct{}, cfg.QueueDepth),
 		active:  make(chan struct{}, cfg.Workers),
 		baseCtx: ctx,
@@ -73,8 +75,9 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 func (s *Server) Close() { s.cancel() }
 
 // BeginDrain puts the server into draining mode: new requests are refused
-// with 503 and /healthz flips to 503/"draining", but admitted requests keep
-// running. Call before the HTTP listener shuts down, then Drain to wait.
+// with 503 and /readyz flips to 503/"draining" (liveness /healthz stays 200),
+// but admitted requests keep running. Call before the HTTP listener shuts
+// down, then Drain to wait.
 func (s *Server) BeginDrain() { s.draining.Store(true) }
 
 // Draining reports whether BeginDrain has been called.
@@ -107,7 +110,8 @@ func (s *Server) Drain(ctx context.Context) error {
 //	POST /v1/solve      {"handle": "...", "b": [...], "deadline_ms": 0,
 //	                     "options": {"nrhs": 0, "runtime": "", "refine": {"tol": 0, "max_iter": 0}}}
 //	POST /v1/release    {"handle": "..."}
-//	GET  /healthz
+//	GET  /healthz       (liveness: 200 while the process serves at all)
+//	GET  /readyz        (readiness: draining state, queue depth, in-flight)
 //	GET  /metrics
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -116,6 +120,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	mux.HandleFunc("POST /v1/release", s.handleRelease)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
@@ -185,6 +190,11 @@ type matrixRequest struct {
 	// (the SuiteSparse exchange format; internal/sparse reader).
 	MatrixMarket string `json:"matrix_market"`
 	DeadlineMS   int64  `json:"deadline_ms,omitempty"`
+	// IdempotencyKey (factorize only) makes retries safe: a repeated
+	// factorize carrying a remembered key replays the original response —
+	// same handle, no second factorization. Keys are remembered for the last
+	// Config.IdempotencyKeys successful factorizations.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
 
 type analyzeResponse struct {
@@ -217,6 +227,10 @@ type factorizeResponse struct {
 	PivotAttempts int     `json:"pivot_attempts,omitempty"`
 	BackwardError float64 `json:"backward_error,omitempty"`
 	RefineIters   int     `json:"refine_iters,omitempty"`
+	// IdempotentReplay marks a response replayed from the idempotency store:
+	// the handle was made by an earlier request with the same key and no new
+	// factorization ran.
+	IdempotentReplay bool `json:"idempotent_replay,omitempty"`
 }
 
 type solveRequest struct {
@@ -329,6 +343,21 @@ func (s *Server) handleFactorize(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	// Idempotent replay: a retry of a factorize that already committed gets
+	// the original response back — same handle, no second factor — before it
+	// costs a queue or worker slot. Draining still refuses, so a load
+	// balancer's view of a draining node stays consistent.
+	if req.IdempotencyKey != "" {
+		if s.draining.Load() {
+			s.writeErr(w, errDraining)
+			return
+		}
+		if resp, ok := s.idem.get(req.IdempotencyKey); ok {
+			resp.IdempotentReplay = true
+			s.writeJSON(w, http.StatusOK, resp)
+			return
+		}
+	}
 	ctx, cancel := s.reqContext(r, req.DeadlineMS)
 	defer cancel()
 	release, err := s.admit(ctx)
@@ -408,6 +437,9 @@ func (s *Server) handleFactorize(w http.ResponseWriter, r *http.Request) {
 		resp.PivotAttempts = robust.Attempts
 		resp.BackwardError = robust.BackwardError
 		resp.RefineIters = robust.RefineIterations
+	}
+	if req.IdempotencyKey != "" {
+		s.idem.put(req.IdempotencyKey, handle, resp)
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
@@ -620,23 +652,61 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, err)
 		return
 	}
+	// A released handle must not come back from the idempotency store: drop
+	// any remembered factorize response that issued it.
+	s.idem.dropHandle(req.Handle)
 	s.writeJSON(w, http.StatusOK, struct {
 		Released string `json:"released"`
 	}{req.Handle})
 }
 
+// handleHealthz is pure liveness: 200 whenever the process can serve HTTP at
+// all, draining or not. Restart decisions key off this; routing decisions
+// key off /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	status, code := "ok", http.StatusOK
-	if s.draining.Load() {
-		// Load balancers must stop routing here while in-flight work drains.
-		status, code = "draining", http.StatusServiceUnavailable
-	}
-	s.writeJSON(w, code, struct {
+	s.writeJSON(w, http.StatusOK, struct {
 		Status        string  `json:"status"`
 		UptimeSeconds float64 `json:"uptime_seconds"`
-		CachedAnal    int     `json:"cached_analyses"`
-		LiveFactors   int     `json:"live_factors"`
-	}{status, time.Since(s.start).Seconds(), s.cache.Len(), s.store.Len()})
+	}{"ok", time.Since(s.start).Seconds()})
+}
+
+// ReadyState is the /readyz body: the routing-relevant view of one node.
+// The gateway's health model consumes it as its active probe signal.
+type ReadyState struct {
+	// Status is "ok" or "draining"; draining also flips the HTTP status to
+	// 503 so plain load balancers stop routing here.
+	Status        string  `json:"status"`
+	Draining      bool    `json:"draining"`
+	QueueDepth    int     `json:"queue_depth"`    // admitted requests (queued or executing)
+	QueueCapacity int     `json:"queue_capacity"` // admission bound (QueueDepth config)
+	InFlight      int     `json:"in_flight"`      // requests holding worker slots
+	Workers       int     `json:"workers"`
+	CachedAnal    int     `json:"cached_analyses"`
+	LiveFactors   int     `json:"live_factors"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// handleReadyz is readiness: whether a router should send this node traffic,
+// with the load signals (queue depth, in-flight count) a health model needs
+// beyond the boolean.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	st := ReadyState{
+		Status:        "ok",
+		Draining:      s.draining.Load(),
+		QueueDepth:    len(s.queue),
+		QueueCapacity: cap(s.queue),
+		InFlight:      len(s.active),
+		Workers:       cap(s.active),
+		CachedAnal:    s.cache.Len(),
+		LiveFactors:   s.store.Len(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
+	code := http.StatusOK
+	if st.Draining {
+		st.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, st)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -647,8 +717,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // --- encoding helpers ---
 
 func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, into any) bool {
-	if err := json.NewDecoder(r.Body).Decode(into); err != nil {
-		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+	// MaxBytesReader cuts the connection off at the configured cap, so an
+	// oversized (or unbounded) body is a structured 413, not an OOM vector.
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(into); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
+				Error: fmt.Sprintf("request body exceeds %d bytes", mbe.Limit),
+				Code:  "body_too_large",
+			})
+		} else {
+			s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		}
 		s.metrics.RequestErrors.Inc()
 		return false
 	}
