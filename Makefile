@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet fmt-check check chaos numstress dynstress solvestress hastress fuzz serve-smoke ci
+.PHONY: all build test race bench vet fmt-check check chaos numstress dynstress solvestress hastress blrstress fuzz serve-smoke ci
 
 all: ci
 
@@ -82,12 +82,24 @@ hastress:
 	$(GO) test -race -timeout 600s -count=1 ./internal/gateway/...
 	$(GO) test -race -timeout 300s -run 'Readyz|BodyLimit|Idempotent|Drain' ./internal/service
 
+# Block low-rank stress soak: the compression kernels and admission logic,
+# the low-rank BLAS panel kernels, the compressed-factor solve conformance
+# and refinement-recovery suites, the public BLR API (including the
+# BLR-disabled bitwise table test across runtimes), and the compressed
+# serving path — all under the race detector.
+blrstress:
+	$(GO) test -race -timeout 300s ./internal/lowrank
+	$(GO) test -race -timeout 300s -run 'LRGemv|LRGemm|GemmLR|GemmDenseLR|TrsmRightLTransUnitLR|LRKernels' ./internal/blas
+	$(GO) test -race -timeout 300s -run 'TestCompress|TestBLR|ServerBLR' ./internal/solver ./internal/service .
+
 # Short coverage-guided fuzz pass over the sparse-matrix invariants, the
-# file parsers and the task-DAG executor (10s each keeps CI bounded; raise
-# -fuzztime for a real hunt).
+# file parsers, the task-DAG executor and the low-rank compressor's
+# accuracy/admission contract (10s each keeps CI bounded; raise -fuzztime
+# for a real hunt).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzCSR -fuzztime 10s ./internal/sparse
 	$(GO) test -run '^$$' -fuzz FuzzScheduleDAG -fuzztime 10s ./internal/dynsched
+	$(GO) test -run '^$$' -fuzz FuzzLRCompress -fuzztime 10s ./internal/lowrank
 
 check: build vet test race
 
@@ -99,6 +111,6 @@ serve-smoke:
 	$(GO) run ./cmd/pastix-serve -smoke
 
 # The CI entry point (and default target): build, vet+gofmt, tests, race,
-# the chaos, numerical-stress, dynamic-runtime, solve-path and HA-serving
-# soaks, a short fuzz pass, then the serving smoke test.
-ci: build vet test race chaos numstress dynstress solvestress hastress fuzz serve-smoke
+# the chaos, numerical-stress, dynamic-runtime, solve-path, HA-serving and
+# block-low-rank soaks, a short fuzz pass, then the serving smoke test.
+ci: build vet test race chaos numstress dynstress solvestress hastress blrstress fuzz serve-smoke

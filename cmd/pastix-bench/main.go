@@ -75,6 +75,14 @@ func main() {
 		serveClients = flag.String("serveclients", "2,8", "concurrent client counts for the -servetest load points")
 		serveOut     = flag.String("serveout", "BENCH_solve_throughput.json", "JSON output file for the -servetest report")
 
+		blrTest  = flag.Bool("blr", false, "measure block low-rank factor compression: memory ratio, compress/solve time and backward error across tolerances (3-D Poisson + graded + irregular generators)")
+		blrGrid  = flag.Int("blrgrid", 14, "Poisson grid edge for -blr (n³ unknowns)")
+		blrProcs = flag.Int("blrprocs", 4, "processor count for -blr")
+		blrReps  = flag.Int("blrreps", 3, "timing repetitions per point for -blr (best kept)")
+		blrTols  = flag.String("blrtols", "1e-2,1e-4,1e-6,1e-8,1e-10", "compression tolerances for -blr")
+		blrMin   = flag.Int("blrminblock", 8, "admission floor min(rows,cols) for -blr compression")
+		blrOut   = flag.String("blrout", "BENCH_blr.json", "JSON output file for the -blr report")
+
 		gwTest    = flag.Bool("gateway", false, "measure HA-gateway serving throughput and node-kill failover cost (QPS/p50/p99 at 0 and 1 kills per client count)")
 		gwGrid    = flag.Int("gwgrid", 12, "Poisson grid edge for -gateway (n³ unknowns)")
 		gwProcs   = flag.Int("gwprocs", 4, "solver worker count per backend for -gateway")
@@ -87,7 +95,7 @@ func main() {
 	if *all {
 		*table1, *table2, *dense, *ablate = true, true, true, true
 	}
-	if !*table1 && !*table2 && !*dense && !*ablate && !*sharedCmp && !*batchRHS && !*diverge && !*dynCmp && !*serveTest && !*gwTest && *plot == "" && *bsweep == "" {
+	if !*table1 && !*table2 && !*dense && !*ablate && !*sharedCmp && !*batchRHS && !*diverge && !*dynCmp && !*serveTest && !*gwTest && !*blrTest && *plot == "" && *bsweep == "" {
 		flag.Usage()
 		return
 	}
@@ -297,6 +305,36 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Printf("report written to %s\n", *serveOut)
+		}
+		fmt.Println()
+	}
+	if *blrTest {
+		var tols []float64
+		for _, s := range strings.Split(*blrTols, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil || v <= 0 || v >= 1 {
+				log.Fatalf("bad -blrtols entry %q", s)
+			}
+			tols = append(tols, v)
+		}
+		fmt.Printf("== block low-rank factor compression across tolerances, %d processors ==\n", *blrProcs)
+		rp, err := bench.BLRCompare(*blrGrid, *blrProcs, *blrReps, *blrMin, tols)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(bench.FormatBLR(rp))
+		if rp.Note != "" {
+			fmt.Printf("\nnote: %s\n", rp.Note)
+		}
+		if *blrOut != "" {
+			data, err := json.MarshalIndent(rp, "", "  ")
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(*blrOut, append(data, '\n'), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("report written to %s\n", *blrOut)
 		}
 		fmt.Println()
 	}

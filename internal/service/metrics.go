@@ -66,9 +66,12 @@ func NewMetrics() *Metrics {
 	}
 }
 
-// write emits the full exposition; cacheEntries and factorsLive are sampled
-// by the caller at scrape time.
-func (m *Metrics) write(w io.Writer, cacheEntries, factorsLive int) error {
+// write emits the full exposition; cacheEntries, factorsLive, factorBytes and
+// compressionRatio are sampled by the caller at scrape time. factorBytes is
+// the resident factor-value storage across live handles; compressionRatio is
+// dense-equivalent bytes over resident bytes (1.0 when nothing resident is
+// BLR-compressed, and also when no factors are live).
+func (m *Metrics) write(w io.Writer, cacheEntries, factorsLive int, factorBytes int64, compressionRatio float64) error {
 	counters := []struct {
 		name, help string
 		c          *trace.Counter
@@ -106,6 +109,7 @@ func (m *Metrics) write(w io.Writer, cacheEntries, factorsLive int) error {
 		{"pastix_queue_depth", "admitted requests currently queued or executing", m.QueueDepth.Value()},
 		{"pastix_cache_entries", "analyses resident in the cache", int64(cacheEntries)},
 		{"pastix_factors_live", "live factor handles", int64(factorsLive)},
+		{"pastix_factor_store_bytes", "resident factor-value bytes across live handles (compressed size for BLR factors)", factorBytes},
 	}
 	for _, g := range gauges {
 		if err := trace.PromHeader(w, g.name, "gauge", g.help); err != nil {
@@ -114,6 +118,13 @@ func (m *Metrics) write(w io.Writer, cacheEntries, factorsLive int) error {
 		if err := trace.PromValue(w, g.name, g.v); err != nil {
 			return err
 		}
+	}
+	if err := trace.PromHeader(w, "pastix_factor_store_compression_ratio",
+		"gauge", "dense-equivalent bytes over resident bytes for live factors (1.0 = fully dense)"); err != nil {
+		return err
+	}
+	if err := trace.PromFloat(w, "pastix_factor_store_compression_ratio", compressionRatio); err != nil {
+		return err
 	}
 	hists := []struct {
 		name, help, labels string

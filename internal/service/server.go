@@ -195,6 +195,21 @@ type matrixRequest struct {
 	// same handle, no second factorization. Keys are remembered for the last
 	// Config.IdempotencyKeys successful factorizations.
 	IdempotencyKey string `json:"idempotency_key,omitempty"`
+	// BLR (factorize only) requests block low-rank compression of the factor
+	// behind the returned handle. Presence of the block means the client wants
+	// compression: Tol must be in (0,1) or the request fails with 400. Solves
+	// against a compressed handle are lossy at the Tol level unless they carry
+	// refinement options; the mpsim solve runtime is unavailable for them.
+	BLR *blrRequestOptions `json:"blr,omitempty"`
+}
+
+// blrRequestOptions is the JSON mirror of pastix.BLROptions.
+type blrRequestOptions struct {
+	// Tol is the per-block relative Frobenius compression tolerance.
+	Tol float64 `json:"tol"`
+	// MinBlockSize is the smallest block dimension offered to the compressor;
+	// 0 selects the library default.
+	MinBlockSize int `json:"min_block_size,omitempty"`
 }
 
 type analyzeResponse struct {
@@ -231,6 +246,9 @@ type factorizeResponse struct {
 	// the handle was made by an earlier request with the same key and no new
 	// factorization ran.
 	IdempotentReplay bool `json:"idempotent_replay,omitempty"`
+	// Compression reports the BLR byte accounting when the handle's factor is
+	// compressed (request "blr" block, or server-level Options.BLR).
+	Compression *pastix.CompressionStats `json:"compression,omitempty"`
 }
 
 type solveRequest struct {
@@ -404,6 +422,17 @@ func (s *Server) handleFactorize(w http.ResponseWriter, r *http.Request) {
 			s.metrics.RuntimeBytes.Add(sum.Bytes)
 		}
 	}
+	// Compress before PrepareSolve: the warmed solve pack aliases the
+	// compressed cells zero-copy, whereas compressing afterwards would throw
+	// away a freshly packed dense pack. A factor already compressed by a
+	// server-level Options.BLR passes through idempotently; conflicting server
+	// configuration (mpsim-pinned solver, fault injection) surfaces as a 400.
+	if req.BLR != nil {
+		if _, cerr := f.Compress(pastix.BLROptions{Tol: req.BLR.Tol, MinBlockSize: req.BLR.MinBlockSize}); cerr != nil {
+			s.writeErr(w, cerr)
+			return
+		}
+	}
 	// Warm the solve path while we still own the factorize request: the solve
 	// DAG, the level-set plan for the schedule's processors and the packed
 	// solve panels are all built here, so the handle's first solve request
@@ -438,6 +467,7 @@ func (s *Server) handleFactorize(w http.ResponseWriter, r *http.Request) {
 		resp.BackwardError = robust.BackwardError
 		resp.RefineIters = robust.RefineIterations
 	}
+	resp.Compression = f.CompressionStats()
 	if req.IdempotencyKey != "" {
 		s.idem.put(req.IdempotencyKey, handle, resp)
 	}
@@ -711,7 +741,12 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_ = s.metrics.write(w, s.cache.Len(), s.store.Len())
+	live, resident, dense := s.store.Stats()
+	ratio := 1.0
+	if resident > 0 {
+		ratio = float64(dense) / float64(resident)
+	}
+	_ = s.metrics.write(w, s.cache.Len(), live, resident, ratio)
 }
 
 // --- encoding helpers ---

@@ -26,6 +26,12 @@ type factorEntry struct {
 	an          *pastix.Analysis
 	f           *pastix.Factor
 	batch       *batcher
+	// bytes is the resident factor-value storage of f (compressed size when
+	// the factor is BLR-compressed); denseBytes is what the same factor costs
+	// in dense form (equal to bytes for an uncompressed factor). Both are
+	// frozen at Put, when the factor's storage form is final.
+	bytes      int64
+	denseBytes int64
 }
 
 // factorStore issues and resolves factor handles. Handles are opaque
@@ -50,6 +56,13 @@ func (s *factorStore) Put(e *factorEntry) (string, error) {
 	}
 	s.seq++
 	e.handle = fmt.Sprintf("f-%06d-%.8s", s.seq, e.fingerprint)
+	if e.f != nil {
+		e.bytes = e.f.MemoryBytes()
+		e.denseBytes = e.bytes
+		if st := e.f.CompressionStats(); st != nil {
+			e.denseBytes = st.DenseBytes
+		}
+	}
 	s.m[e.handle] = e
 	return e.handle, nil
 }
@@ -81,4 +94,17 @@ func (s *factorStore) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.m)
+}
+
+// Stats samples the store for the metrics endpoint: live handle count, total
+// resident factor-value bytes, and what those factors would cost dense (the
+// two differ only when BLR-compressed factors are resident).
+func (s *factorStore) Stats() (live int, resident, dense int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.m {
+		resident += e.bytes
+		dense += e.denseBytes
+	}
+	return len(s.m), resident, dense
 }

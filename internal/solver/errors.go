@@ -25,6 +25,11 @@ var (
 	// left a backward error that refinement could not pull under the target.
 	// The concrete error is a *PivotExhaustedError.
 	ErrPivotExhausted = errors.New("solver: static pivoting exhausted retries without an accurate factorization")
+	// ErrCompressed reports that an operation which reads the dense factor
+	// arrays (the message-passing solve runtime, the schedule-driven shared
+	// solve) was handed a BLR-compressed factor. Compressed factors solve
+	// through Factors.Solve/SolveMany and the level-set engine.
+	ErrCompressed = errors.New("solver: operation requires dense factors (factor is BLR-compressed)")
 )
 
 // ErrFaultBudget reports that a fault-injected run degraded past recovery:

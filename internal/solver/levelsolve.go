@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/pastix-go/pastix/internal/blas"
+	"github.com/pastix-go/pastix/internal/lowrank"
 	"github.com/pastix-go/pastix/internal/sched"
 	"github.com/pastix-go/pastix/internal/symbolic"
 	"github.com/pastix-go/pastix/internal/trace"
@@ -177,55 +178,74 @@ func splitByCost(cells []int32, cost []int64, workers int) [][]int32 {
 // solvePack holds contiguous copies of a factor's solve operands, laid out
 // in level order: per cell the w×w diagonal block and the off-diagonal
 // blocks (rows×w each, block bi at off[bi] inside blk[k]). Built once per
-// factor (Factors.packOnce) on first use or by PrepareSolve.
+// factor (guarded by Factors.packMu) on first use or by PrepareSolve. For a
+// BLR-compressed factor the pack aliases the compressed cells zero-copy
+// (they are already packed); lr is non-nil and lr[k][bi] != nil marks a
+// low-rank block (off[k][bi] is negative for those).
 type solvePack struct {
 	diag [][]float64
 	blk  [][]float64
 	off  [][]int32
+	lr   [][]*lowrank.LRBlock
 }
 
 // solvePackFor builds (once) and returns the factor's packed solve panels.
 func (f *Factors) solvePackFor(dag *sched.SolveDAG) *solvePack {
-	f.packOnce.Do(func() {
-		sym := f.Sym
-		ncb := sym.NumCB()
-		pk := &solvePack{
-			diag: make([][]float64, ncb),
-			blk:  make([][]float64, ncb),
-			off:  make([][]int32, ncb),
-		}
-		for _, cells := range dag.Levels {
-			total := 0
-			for _, c := range cells {
-				cb := &sym.CB[c]
-				w := cb.Width()
-				total += w*w + cb.RowsBelow()*w
-			}
-			buf := make([]float64, total)
-			pos := 0
-			for _, c := range cells {
-				k := int(c)
-				cb := &sym.CB[k]
-				w := cb.Width()
-				ld := f.LD[k]
-				f.EnsureCell(k)
-				pk.diag[k] = buf[pos : pos+w*w]
-				blas.PackPanel(w, w, f.Data[k], ld, pk.diag[k])
-				pos += w * w
-				pk.off[k] = make([]int32, len(cb.Blocks))
-				blkStart := pos
-				for bi := range cb.Blocks {
-					rows := cb.Blocks[bi].Rows()
-					pk.off[k][bi] = int32(pos - blkStart)
-					blas.PackPanel(rows, w, f.Data[k][f.BlockOff[k][bi]:], ld, buf[pos:pos+rows*w])
-					pos += rows * w
-				}
-				pk.blk[k] = buf[blkStart:pos]
-			}
+	f.packMu.Lock()
+	defer f.packMu.Unlock()
+	if f.pack != nil {
+		return f.pack
+	}
+	sym := f.Sym
+	ncb := sym.NumCB()
+	pk := &solvePack{
+		diag: make([][]float64, ncb),
+		blk:  make([][]float64, ncb),
+		off:  make([][]int32, ncb),
+	}
+	if f.lrCells != nil {
+		pk.lr = make([][]*lowrank.LRBlock, ncb)
+		for k := 0; k < ncb; k++ {
+			cell := &f.lrCells[k]
+			pk.diag[k] = cell.diag
+			pk.blk[k] = cell.dense
+			pk.off[k] = cell.off
+			pk.lr[k] = cell.lr
 		}
 		f.pack = pk
-	})
-	return f.pack
+		return pk
+	}
+	for _, cells := range dag.Levels {
+		total := 0
+		for _, c := range cells {
+			cb := &sym.CB[c]
+			w := cb.Width()
+			total += w*w + cb.RowsBelow()*w
+		}
+		buf := make([]float64, total)
+		pos := 0
+		for _, c := range cells {
+			k := int(c)
+			cb := &sym.CB[k]
+			w := cb.Width()
+			ld := f.LD[k]
+			f.EnsureCell(k)
+			pk.diag[k] = buf[pos : pos+w*w]
+			blas.PackPanel(w, w, f.Data[k], ld, pk.diag[k])
+			pos += w * w
+			pk.off[k] = make([]int32, len(cb.Blocks))
+			blkStart := pos
+			for bi := range cb.Blocks {
+				rows := cb.Blocks[bi].Rows()
+				pk.off[k][bi] = int32(pos - blkStart)
+				blas.PackPanel(rows, w, f.Data[k][f.BlockOff[k][bi]:], ld, buf[pos:pos+rows*w])
+				pos += rows * w
+			}
+			pk.blk[k] = buf[blkStart:pos]
+		}
+	}
+	f.pack = pk
+	return pk
 }
 
 // SolveDAG returns the analysis's solve DAG, built on first use (internally
@@ -488,8 +508,18 @@ func (r *levelRun) forwardCell(fc int) {
 		scb := &sym.CB[in.src]
 		sw := scb.Width()
 		ys := r.y[scb.Cols[0]*nr:]
-		a := r.pk.blk[in.src][r.pk.off[in.src][in.bi]:]
 		rows := int(in.rows)
+		if r.pk.lr != nil {
+			if lb := r.pk.lr[in.src][in.bi]; lb != nil {
+				if nr == 1 {
+					blas.LRGemvN(rows, sw, lb.Rank, lb.U, lb.V, ys[:sw], yf[in.off:int(in.off)+rows])
+				} else {
+					blas.LRGemmNN(rows, sw, lb.Rank, nr, lb.U, lb.V, ys[:sw*nr], sw, yf[in.off:], w)
+				}
+				continue
+			}
+		}
+		a := r.pk.blk[in.src][r.pk.off[in.src][in.bi]:]
 		if nr == 1 {
 			blas.GemvNPacked(rows, sw, a, ys[:sw], yf[in.off:int(in.off)+rows])
 		} else {
@@ -528,6 +558,16 @@ func (r *levelRun) backwardCell(kc int) {
 		off := blk.FirstRow - fcb.Cols[0]
 		rows := blk.Rows()
 		xf := r.x[fcb.Cols[0]*nr:]
+		if r.pk.lr != nil {
+			if lb := r.pk.lr[kc][bi]; lb != nil {
+				if nr == 1 {
+					blas.LRGemvT(rows, w, lb.Rank, lb.U, lb.V, xf[off:off+rows], xk)
+				} else {
+					blas.LRGemmTN(rows, w, lb.Rank, nr, lb.U, lb.V, xf[off:], fw, xk, w)
+				}
+				continue
+			}
+		}
 		a := r.pk.blk[kc][r.pk.off[kc][bi]:]
 		if nr == 1 {
 			blas.GemvTPacked(rows, w, a, xf[off:off+rows], xk)

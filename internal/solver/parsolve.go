@@ -177,6 +177,9 @@ func SolveParManyOpts(ctx context.Context, sch *sched.Schedule, f *Factors, b []
 	if nrhs <= 0 || len(b) != sym.N*nrhs {
 		return nil, fmt.Errorf("solver: rhs panel must be n×nrhs = %d×%d: %w", sym.N, nrhs, ErrShape)
 	}
+	if f.Compressed() {
+		return nil, ErrCompressed
+	}
 	pl := newSolvePlan(sch)
 	P := sch.P
 	rec := sopts.Trace

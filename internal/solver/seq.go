@@ -113,6 +113,9 @@ func FactorizeSeqPivot(a *sparse.SymMatrix, sym *symbolic.Symbol, sp StaticPivot
 // the unit-lower block L, diagonal scaling, then backward substitution with
 // Lᵀ. b is not modified; the solution is returned.
 func (f *Factors) Solve(b []float64) []float64 {
+	if f.lrCells != nil {
+		return f.solveCompressed(b)
+	}
 	sym := f.Sym
 	x := append([]float64(nil), b...)
 	// Forward: L y = b.
@@ -173,6 +176,9 @@ func (f *Factors) Refine(a *sparse.SymMatrix, b, x []float64) []float64 {
 // n×nrhs column-major panel (leading dimension n); the solution panel is
 // returned in the same layout. Block kernels give the solve BLAS3 shape.
 func (f *Factors) SolveMany(b []float64, nrhs int) []float64 {
+	if f.lrCells != nil {
+		return f.solveManyCompressed(b, nrhs)
+	}
 	sym := f.Sym
 	n := sym.N
 	x := append([]float64(nil), b...)

@@ -36,6 +36,9 @@ func SolveSharedCtx(ctx context.Context, sch *sched.Schedule, f *Factors, b []fl
 	if len(b) != sym.N {
 		return nil, fmt.Errorf("solver: rhs length %d, matrix order %d: %w", len(b), sym.N, ErrShape)
 	}
+	if f.Compressed() {
+		return nil, ErrCompressed
+	}
 	pl := newSolvePlan(sch)
 	ncb := sym.NumCB()
 	ss := &sharedSolve{

@@ -30,11 +30,19 @@ type Factors struct {
 	// substitution.
 	Pivots *PerturbationReport
 
+	// lrCells is the block low-rank compressed form (compress.go), built by
+	// Compress as a post-factorization pass. While nil the factor is dense and
+	// Data holds the values; once set, Data is released and every solve path
+	// reads the compressed cells instead. comp carries the byte accounting.
+	lrCells []lrCell
+	comp    *CompressionStats
+
 	// Packed solve panels for the level-set engine (levelsolve.go), built
-	// lazily once the factor values are final. Internally synchronized; must
-	// not be warmed before the factorization completes.
-	packOnce sync.Once
-	pack     *solvePack
+	// lazily once the factor values are final. Guarded by packMu; must not be
+	// warmed before the factorization completes. Compress invalidates the
+	// pack so the next solve re-packs from (aliases) the compressed cells.
+	packMu sync.Mutex
+	pack   *solvePack
 }
 
 // NewFactors allocates zeroed storage for every column block of sym.
@@ -177,6 +185,13 @@ func (f *Factors) Diag(k int) []float64 {
 	cb := &f.Sym.CB[k]
 	w := cb.Width()
 	d := make([]float64, w)
+	if f.lrCells != nil {
+		diag := f.lrCells[k].diag
+		for j := 0; j < w; j++ {
+			d[j] = diag[j+j*w]
+		}
+		return d
+	}
 	ld := f.LD[k]
 	for j := 0; j < w; j++ {
 		d[j] = f.Data[k][j+j*ld]
@@ -184,8 +199,22 @@ func (f *Factors) Diag(k int) []float64 {
 	return d
 }
 
-// NNZ returns the allocated factor entries (block model).
+// NNZ returns the resident factor entries (block model; compressed cells
+// count their U/V values, not the dense blocks they replaced).
 func (f *Factors) NNZ() int64 {
+	if f.lrCells != nil {
+		var t int64
+		for k := range f.lrCells {
+			c := &f.lrCells[k]
+			t += int64(len(c.diag) + len(c.dense))
+			for _, lb := range c.lr {
+				if lb != nil {
+					t += int64(lb.Values())
+				}
+			}
+		}
+		return t
+	}
 	var t int64
 	for k := range f.Data {
 		if f.Data[k] != nil {

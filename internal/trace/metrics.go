@@ -125,6 +125,12 @@ func PromValue(w io.Writer, name string, v int64) error {
 	return err
 }
 
+// PromFloat writes one sample line for a float-valued gauge.
+func PromFloat(w io.Writer, name string, v float64) error {
+	_, err := fmt.Fprintf(w, "%s %g\n", name, v)
+	return err
+}
+
 // RunMetrics accumulates observations of traced executions: the adapter from
 // the divergence Report (or, one layer up, a pastix.TraceSummary) to the
 // metrics a serving layer exports.

@@ -193,6 +193,15 @@ type Options struct {
 	// (SolveRefinedStats, RefineSolution, FactorizeRobust). 0 selects the
 	// default 1e-10.
 	RefineTol float64
+	// BLR enables block low-rank factor compression: every factor the
+	// analysis produces is compressed in a post-factorization pass at
+	// BLR.Tol (see BLROptions), trading ~Tol solve accuracy — recoverable
+	// with SolveOptions.Refine — for factor memory. The zero value (Tol 0)
+	// disables compression and keeps every factor bitwise-identical to the
+	// dense path. Compressed factors solve on the sequential and level-set
+	// engines only, so enabling BLR conflicts with Runtime: RuntimeMPSim and
+	// with active fault injection (both fail Validate).
+	BLR BLROptions
 }
 
 // StaticPivotOptions configures static pivoting (Options.StaticPivot):
@@ -266,6 +275,17 @@ func (o Options) Validate() error {
 	if o.RefineTol < 0 {
 		return fmt.Errorf("%w: RefineTol %g is negative", ErrBadOptions, o.RefineTol)
 	}
+	if err := o.BLR.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadOptions, err)
+	}
+	if o.BLR.Enabled() {
+		if o.Runtime == RuntimeMPSim {
+			return fmt.Errorf("%w: BLR compression conflicts with Runtime RuntimeMPSim (the message-passing solve needs dense factors)", ErrBadOptions)
+		}
+		if o.Faults.Active() {
+			return fmt.Errorf("%w: BLR compression conflicts with fault injection (the message-passing solve needs dense factors)", ErrBadOptions)
+		}
+	}
 	return nil
 }
 
@@ -277,6 +297,7 @@ type Analysis struct {
 	faults    *FaultPlan         // fault injection for the numerical phases (nil = off)
 	pivot     StaticPivotOptions // static pivoting for the numerical phases
 	refineTol float64            // adaptive-refinement target; 0 = default
+	blr       BLROptions         // factor compression; zero Tol = disabled
 }
 
 // parOpts builds the runtime options every numerical phase of this analysis
@@ -293,6 +314,27 @@ type Factor struct {
 	// an.A for Factorize, the request's values for FactorizeValues — so
 	// refinement always iterates against the right system.
 	pa *sparse.SymMatrix
+	// blrConflict, when non-empty, names the analysis configuration that
+	// forbids compressing this factor (Factor.Compress reports it).
+	blrConflict string
+}
+
+// newFactor wraps a freshly factorized solver.Factors, applying the
+// analysis's BLR compression pass when configured. Every Factorize* entry
+// point funnels through here so compression is uniform across the plain,
+// traced, values and robust paths.
+func (an *Analysis) newFactor(f *solver.Factors, pa *sparse.SymMatrix) *Factor {
+	out := &Factor{inner: f, an: an.inner, pa: pa}
+	switch {
+	case an.faults.Active():
+		out.blrConflict = "fault injection needs dense factors (message-passing solve runtime)"
+	case an.runtime == RuntimeMPSim:
+		out.blrConflict = "analysis is pinned to RuntimeMPSim, whose solve needs dense factors"
+	}
+	if an.blr.Enabled() {
+		f.Compress(an.blr)
+	}
+	return out
 }
 
 // Perturbations returns the static-pivoting report of this factorization:
@@ -359,7 +401,7 @@ func AnalyzeContext(ctx context.Context, a *Matrix, opts Options) (*Analysis, er
 	if rt == RuntimeAuto && opts.SharedMemory {
 		rt = RuntimeShared
 	}
-	an := &Analysis{inner: inner, runtime: rt, pivot: opts.StaticPivot, refineTol: opts.RefineTol}
+	an := &Analysis{inner: inner, runtime: rt, pivot: opts.StaticPivot, refineTol: opts.RefineTol, blr: opts.BLR}
 	if opts.Faults.Active() {
 		an.faults = opts.Faults
 	}
@@ -404,7 +446,7 @@ func (an *Analysis) FactorizeContext(ctx context.Context) (*Factor, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Factor{inner: f, an: an.inner, pa: an.inner.A}, nil
+	return an.newFactor(f, an.inner.A), nil
 }
 
 // Solve returns x with A·x = b (original ordering; b is not modified). It is
@@ -492,7 +534,7 @@ func (an *Analysis) FactorizeValues(ctx context.Context, a *Matrix) (*Factor, er
 	if err != nil {
 		return nil, err
 	}
-	return &Factor{inner: f, an: an.inner, pa: pa}, nil
+	return an.newFactor(f, pa), nil
 }
 
 // permuteSamePattern permutes a into the analysis ordering after verifying
@@ -631,7 +673,7 @@ func (an *Analysis) FactorizeRobust(ctx context.Context) (*Factor, RobustStats, 
 	if err != nil {
 		return nil, rs, err
 	}
-	return &Factor{inner: f, an: an.inner, pa: an.inner.A}, rs, nil
+	return an.newFactor(f, an.inner.A), rs, nil
 }
 
 // FactorizeValuesRobust is FactorizeRobust for a matrix sharing the analysed
@@ -646,7 +688,7 @@ func (an *Analysis) FactorizeValuesRobust(ctx context.Context, a *Matrix) (*Fact
 	if err != nil {
 		return nil, rs, err
 	}
-	return &Factor{inner: f, an: an.inner, pa: pa}, rs, nil
+	return an.newFactor(f, pa), rs, nil
 }
 
 // Stats summarises the analysis for reporting.

@@ -143,6 +143,11 @@ func (an *Analysis) solveOpts(ctx context.Context, f *Factor, b []float64, opts 
 	if an.faults.Active() && rt != RuntimeMPSim && rt != RuntimeSequential {
 		return nil, fmt.Errorf("%w: fault injection requires the message-passing runtime, not %v", ErrBadOptions, rt)
 	}
+	// The message-passing sweep reads the dense factor arrays, which a BLR
+	// compression pass released.
+	if rt == RuntimeMPSim && f.inner.Compressed() {
+		return nil, fmt.Errorf("%w: the message-passing solve needs dense factors, and this factor is BLR-compressed", ErrBadOptions)
+	}
 
 	res := &SolveResult{}
 	sch := an.inner.Sched

@@ -68,7 +68,7 @@ func (an *Analysis) factorizeTraced(ctx context.Context, pa *Matrix, topts Trace
 	if err != nil {
 		return nil, nil, err
 	}
-	return &Factor{inner: f, an: an.inner, pa: pa},
+	return an.newFactor(f, pa),
 		&Trace{rec: rec, sch: sch, free: an.runtime == RuntimeDynamic}, nil
 }
 
