@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet fmt-check check chaos numstress dynstress solvestress hastress blrstress fuzz serve-smoke ci
+.PHONY: all build test race bench vet fmt-check check chaos numstress dynstress solvestress hastress blrstress durastress fuzz serve-smoke ci
 
 all: ci
 
@@ -92,14 +92,28 @@ blrstress:
 	$(GO) test -race -timeout 300s -run 'LRGemv|LRGemm|GemmLR|GemmDenseLR|TrsmRightLTransUnitLR|LRKernels' ./internal/blas
 	$(GO) test -race -timeout 300s -run 'TestCompress|TestBLR|ServerBLR' ./internal/solver ./internal/service .
 
+# Durability stress soak: the WAL/snapshot store under the race detector —
+# codec round trips, torn-tail and bit-flip corruption recovery, the
+# crash-at-write-k injector sweep — plus the service's journaled durable-ack
+# and replicate paths, the gateway anti-entropy repair suites, and the
+# durable kill→restart→recover chaos soak (-short trims the seed count).
+durastress:
+	$(GO) test -race -timeout 300s ./internal/store
+	$(GO) test -race -timeout 300s -run 'Durable|Replicate|Recovering|IdemStore' ./internal/service
+	$(GO) test -race -timeout 300s -run 'AntiEntropy|AwaitShard' ./internal/gateway
+	$(GO) test -race -timeout 600s -short -run 'ChaosDurable' ./internal/gateway/chaos
+
 # Short coverage-guided fuzz pass over the sparse-matrix invariants, the
-# file parsers, the task-DAG executor and the low-rank compressor's
-# accuracy/admission contract (10s each keeps CI bounded; raise -fuzztime
-# for a real hunt).
+# file parsers, the task-DAG executor, the low-rank compressor's
+# accuracy/admission contract, and the durable store's recovery path
+# (arbitrary journal bytes must never panic or resurrect corrupt records;
+# 10s each keeps CI bounded; raise -fuzztime for a real hunt).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzCSR -fuzztime 10s ./internal/sparse
 	$(GO) test -run '^$$' -fuzz FuzzScheduleDAG -fuzztime 10s ./internal/dynsched
 	$(GO) test -run '^$$' -fuzz FuzzLRCompress -fuzztime 10s ./internal/lowrank
+	$(GO) test -run '^$$' -fuzz 'FuzzStoreRecover$$' -fuzztime 10s ./internal/store
+	$(GO) test -run '^$$' -fuzz 'FuzzStoreRecoverSnapshot$$' -fuzztime 10s ./internal/store
 
 check: build vet test race
 
@@ -111,6 +125,7 @@ serve-smoke:
 	$(GO) run ./cmd/pastix-serve -smoke
 
 # The CI entry point (and default target): build, vet+gofmt, tests, race,
-# the chaos, numerical-stress, dynamic-runtime, solve-path, HA-serving and
-# block-low-rank soaks, a short fuzz pass, then the serving smoke test.
-ci: build vet test race chaos numstress dynstress solvestress hastress blrstress fuzz serve-smoke
+# the chaos, numerical-stress, dynamic-runtime, solve-path, HA-serving,
+# block-low-rank and durability soaks, a short fuzz pass, then the serving
+# smoke test (which ends with a persist → restart → solve round trip).
+ci: build vet test race chaos numstress dynstress solvestress hastress blrstress durastress fuzz serve-smoke

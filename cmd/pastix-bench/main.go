@@ -90,12 +90,18 @@ func main() {
 		gwReqs    = flag.Int("gwreqs", 200, "solve requests per load point for -gateway")
 		gwClients = flag.String("gwclients", "2,8", "concurrent client counts for the -gateway load points")
 		gwOut     = flag.String("gwout", "BENCH_gateway_failover.json", "JSON output file for the -gateway report")
+
+		duraTest    = flag.Bool("durability", false, "measure the durable factor store: durable-ack vs in-memory factorize latency, journal replay wall time, and bitwise solve identity across a restart")
+		duraGrid    = flag.Int("duragrid", 12, "Poisson grid edge for -durability (n³ unknowns)")
+		duraProcs   = flag.Int("duraprocs", 4, "solver worker count for -durability")
+		duraFactors = flag.Int("durafactors", 16, "factorize requests per mode for -durability (also the journal replay depth)")
+		duraOut     = flag.String("duraout", "BENCH_durability.json", "JSON output file for the -durability report")
 	)
 	flag.Parse()
 	if *all {
 		*table1, *table2, *dense, *ablate = true, true, true, true
 	}
-	if !*table1 && !*table2 && !*dense && !*ablate && !*sharedCmp && !*batchRHS && !*diverge && !*dynCmp && !*serveTest && !*gwTest && !*blrTest && *plot == "" && *bsweep == "" {
+	if !*table1 && !*table2 && !*dense && !*ablate && !*sharedCmp && !*batchRHS && !*diverge && !*dynCmp && !*serveTest && !*gwTest && !*blrTest && !*duraTest && *plot == "" && *bsweep == "" {
 		flag.Usage()
 		return
 	}
@@ -365,6 +371,28 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Printf("report written to %s\n", *gwOut)
+		}
+		fmt.Println()
+	}
+	if *duraTest {
+		fmt.Printf("== durable factor store: ack cost, journal replay, restart identity ==\n")
+		rp, err := servebench.DurabilityTest(*duraGrid, *duraProcs, *duraFactors)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(servebench.FormatDurabilityReport(rp))
+		if rp.Note != "" {
+			fmt.Printf("note: %s\n", rp.Note)
+		}
+		if *duraOut != "" {
+			data, err := json.MarshalIndent(rp, "", "  ")
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(*duraOut, append(data, '\n'), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("report written to %s\n", *duraOut)
 		}
 		fmt.Println()
 	}

@@ -47,6 +47,7 @@ func main() {
 		maxBack  = flag.Duration("max-backoff", 0, "backoff and Retry-After cap (0 = default 1s)")
 		queueD   = flag.Int("queue-depth", 0, "factorize requests parked while a shard has no live replica (0 = default 16)")
 		queueW   = flag.Duration("queue-wait", 0, "how long a parked factorize waits for the shard (0 = default 2s)")
+		repairIv = flag.Duration("repair-interval", 0, "anti-entropy repair cadence re-replicating under-replicated factors (0 = default 250ms, negative disables)")
 		maxBody  = flag.Int64("max-body", 0, "request body cap in bytes (0 = default 64 MiB)")
 		seed     = flag.Int64("seed", 0, "seed for ring placement and retry jitter")
 	)
@@ -76,10 +77,11 @@ func main() {
 			MaxDelay:    *maxBack,
 			Seed:        *seed,
 		},
-		QueueDepth:   *queueD,
-		QueueWait:    *queueW,
-		MaxBodyBytes: *maxBody,
-		Seed:         *seed,
+		QueueDepth:     *queueD,
+		QueueWait:      *queueW,
+		RepairInterval: *repairIv,
+		MaxBodyBytes:   *maxBody,
+		Seed:           *seed,
 	}
 	if err := run(cfg, *addr); err != nil {
 		log.Fatal(err)

@@ -6,9 +6,10 @@
 //
 // With -smoke it instead starts itself on a random loopback port, drives a
 // full analyze → analyze(cached) → factorize → batched-solve round trip
-// against a generated Poisson problem, scrapes /metrics, and exits non-zero
-// on any failure — the self-contained serving smoke test behind
-// `make serve-smoke`.
+// against a generated Poisson problem, scrapes /metrics, then runs a durable
+// persist → restart → solve leg (the replayed handle must solve bitwise
+// identically), exiting non-zero on any failure — the self-contained serving
+// smoke test behind `make serve-smoke`.
 package main
 
 import (
@@ -44,6 +45,10 @@ func main() {
 		pivotRetry  = flag.Int("pivot-retries", 0, "ε-escalation attempts when a factorization breaks down (0 = fail fast)")
 		refineTol   = flag.Float64("refine-tol", 0, "backward-error target for refinement of degraded solves (0 = default 1e-10)")
 		maxBody     = flag.Int64("max-body", 0, "request body cap in bytes; oversized bodies get a structured 413 (0 = default 64 MiB)")
+		dataDir     = flag.String("data-dir", "", "durable store directory; factorize acks only after the journal fsync, and a restart replays it (empty = in-memory only)")
+		snapEvery   = flag.Int("snapshot-every", 0, "WAL records between snapshot compactions (0 = default 64)")
+		idemTTL     = flag.Duration("idem-ttl", 0, "idempotency record lifetime (0 = default 1h)")
+		noExport    = flag.Bool("no-factor-export", false, "refuse /v1/replicate factor exports (peers must re-factorize instead)")
 		smoke       = flag.Bool("smoke", false, "run the end-to-end serving smoke test and exit")
 	)
 	flag.Parse()
@@ -67,6 +72,10 @@ func main() {
 		Workers:         *workers,
 		DefaultDeadline: *deadline,
 		MaxBodyBytes:    *maxBody,
+		DataDir:         *dataDir,
+		SnapshotEvery:   *snapEvery,
+		IdempotencyTTL:  *idemTTL,
+		NoFactorExport:  *noExport,
 	}
 
 	if *smoke {

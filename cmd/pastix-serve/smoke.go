@@ -2,12 +2,14 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math"
 	"net"
 	"net/http"
+	"os"
 	"strings"
 	"sync"
 	"time"
@@ -30,6 +32,7 @@ type smokeAnalyzeResp struct {
 type smokeFactorizeResp struct {
 	Handle         string `json:"handle"`
 	AnalysisCached bool   `json:"analysis_cached"`
+	Durable        bool   `json:"durable"`
 }
 type smokeSolveReq struct {
 	Handle string    `json:"handle"`
@@ -170,6 +173,87 @@ func runSmoke(cfg service.Config) error {
 		return fmt.Errorf("pastix_cache_hits_total = %g, want ≥ 1", hits)
 	}
 	fmt.Printf("serve-smoke: metrics ok (cache hits %g)\n", hits)
+
+	return smokeDurable(cfg, mm.String(), b)
+}
+
+// smokeDurable drives the persist → restart → solve round trip: a durable
+// service factorizes and acks, the process "dies", a fresh one replays the
+// journal from the same data dir, and the old handle solves bitwise
+// identically.
+func smokeDurable(cfg service.Config, mm string, b []float64) error {
+	dir, err := os.MkdirTemp("", "pastix-smoke-durable-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	cfg.DataDir = dir
+
+	start := func() (*service.Server, *http.Server, string, error) {
+		s, err := service.New(cfg)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			s.Close()
+			return nil, nil, "", err
+		}
+		hs := &http.Server{Handler: s.Handler()}
+		go hs.Serve(ln)
+		return s, hs, "http://" + ln.Addr().String(), nil
+	}
+
+	s1, hs1, base1, err := start()
+	if err != nil {
+		return err
+	}
+	var fr smokeFactorizeResp
+	if err := smokePost(base1+"/v1/factorize", smokeMatrixReq{MatrixMarket: mm}, &fr); err != nil {
+		hs1.Close()
+		s1.Close()
+		return fmt.Errorf("durable factorize: %w", err)
+	}
+	if !fr.Durable {
+		hs1.Close()
+		s1.Close()
+		return fmt.Errorf("factorize with -data-dir did not ack durable: %+v", fr)
+	}
+	var sr1 smokeSolveResp
+	if err := smokePost(base1+"/v1/solve", smokeSolveReq{Handle: fr.Handle, B: b}, &sr1); err != nil {
+		hs1.Close()
+		s1.Close()
+		return fmt.Errorf("pre-restart solve: %w", err)
+	}
+	// The process dies: listener and service close, the journal stays.
+	hs1.Close()
+	s1.Close()
+	fmt.Println("serve-smoke: durable factorize acked, process restarted")
+
+	s2, hs2, base2, err := start()
+	if err != nil {
+		return err
+	}
+	defer func() { hs2.Close(); s2.Close() }()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s2.WaitRecovered(ctx); err != nil {
+		return fmt.Errorf("journal replay: %w", err)
+	}
+	var sr2 smokeSolveResp
+	if err := smokePost(base2+"/v1/solve", smokeSolveReq{Handle: fr.Handle, B: b}, &sr2); err != nil {
+		return fmt.Errorf("post-restart solve of replayed handle %s: %w", fr.Handle, err)
+	}
+	if len(sr2.X) != len(sr1.X) {
+		return fmt.Errorf("post-restart solve: %d values, want %d", len(sr2.X), len(sr1.X))
+	}
+	for j := range sr2.X {
+		if sr2.X[j] != sr1.X[j] {
+			return fmt.Errorf("post-restart solve: x[%d] = %x, want %x — not bit-identical across the restart",
+				j, sr2.X[j], sr1.X[j])
+		}
+	}
+	fmt.Printf("serve-smoke: handle %s replayed from the journal, solve bit-identical\n", fr.Handle)
 	return nil
 }
 

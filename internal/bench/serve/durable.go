@@ -1,0 +1,232 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/pastix-go/pastix"
+	"github.com/pastix-go/pastix/internal/gen"
+	"github.com/pastix-go/pastix/internal/service"
+)
+
+// DurabilityRow is the factorize ack-latency distribution for one serving
+// mode: in-memory (ack after compute) or durable (ack after the journal
+// fsync as well).
+type DurabilityRow struct {
+	Mode     string  `json:"mode"`
+	Factors  int     `json:"factors"`
+	AckP50MS float64 `json:"ack_p50_ms"`
+	AckP99MS float64 `json:"ack_p99_ms"`
+	MeanMS   float64 `json:"ack_mean_ms"`
+}
+
+// DurabilityReport is the emitted BENCH_durability.json artifact: the price
+// of the durable ack, the recovery wall time for a journal of K factors,
+// and whether the replayed factors solve bitwise identically.
+type DurabilityReport struct {
+	CPUs            int             `json:"cpus"`
+	GOMAXPROCS      int             `json:"gomaxprocs"`
+	Grid            int             `json:"grid"`
+	Procs           int             `json:"p"`
+	Factors         int             `json:"factors"`
+	Rows            []DurabilityRow `json:"rows"`
+	WALBytes        float64         `json:"wal_bytes"`
+	RecoverySeconds float64         `json:"recovery_seconds"`
+	BitIdentical    bool            `json:"bit_identical"`
+	Note            string          `json:"note,omitempty"`
+}
+
+// DurabilityTest factorizes the same pattern `factors` times against an
+// in-memory service and a durable one (fsync-journaled data dir), compares
+// the ack latency distributions, then kills the durable service and times a
+// fresh process's journal replay — checking that a pre-restart solve and its
+// post-replay rerun return the same bits.
+func DurabilityTest(grid, procs, factors int) (*DurabilityReport, error) {
+	rp := &DurabilityReport{
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Grid:       grid,
+		Procs:      procs,
+		Factors:    factors,
+	}
+	a := gen.Laplacian3D(grid, grid, grid)
+	var mmb strings.Builder
+	if err := pastix.WriteMatrixMarket(&mmb, a, "durability bench"); err != nil {
+		return nil, err
+	}
+	mm := mmb.String()
+	_, b := gen.RHSForSolution(a)
+
+	dir, err := os.MkdirTemp("", "pastix-bench-durable-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	baseCfg := service.Config{
+		Solver:     pastix.Options{Processors: procs},
+		MaxFactors: factors + 1,
+	}
+
+	var handles []string
+	var preX []float64
+	for _, mode := range []struct {
+		name    string
+		dataDir string
+	}{
+		{"in-memory", ""},
+		{"durable", dir},
+	} {
+		cfg := baseCfg
+		cfg.DataDir = mode.dataDir
+		svc, err := service.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		ts := httptest.NewServer(svc.Handler())
+		lat := make([]time.Duration, 0, factors)
+		fail := func(err error) (*DurabilityReport, error) {
+			ts.Close()
+			svc.Close()
+			return nil, err
+		}
+		for k := 0; k < factors; k++ {
+			var h struct {
+				Handle  string `json:"handle"`
+				Durable bool   `json:"durable"`
+			}
+			t0 := time.Now()
+			if err := postServe(ts.URL+"/v1/factorize", map[string]any{"matrix_market": mm}, &h); err != nil {
+				return fail(fmt.Errorf("%s factorize %d: %w", mode.name, k, err))
+			}
+			lat = append(lat, time.Since(t0))
+			if mode.dataDir != "" {
+				if !h.Durable {
+					return fail(fmt.Errorf("durable factorize %d did not ack durable", k))
+				}
+				handles = append(handles, h.Handle)
+			}
+		}
+		rp.Rows = append(rp.Rows, durabilityRow(mode.name, lat))
+
+		if mode.dataDir != "" {
+			// Pre-restart reference solve of the last handle, and the WAL size.
+			var sx struct {
+				X []float64 `json:"x"`
+			}
+			if err := postServe(ts.URL+"/v1/solve",
+				map[string]any{"handle": handles[len(handles)-1], "b": b}, &sx); err != nil {
+				return fail(fmt.Errorf("pre-restart solve: %w", err))
+			}
+			preX = sx.X
+			if wb, err := scrapeDurabilityMetric(ts.URL+"/metrics", "pastix_store_wal_bytes"); err == nil {
+				rp.WALBytes = wb
+			}
+		}
+		ts.Close()
+		svc.Close()
+	}
+
+	// Recovery: a fresh process on the same data dir replays every factor.
+	t0 := time.Now()
+	cfg := baseCfg
+	cfg.DataDir = dir
+	svc, err := service.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("reopen journal: %w", err)
+	}
+	defer svc.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	if err := svc.WaitRecovered(ctx); err != nil {
+		return nil, fmt.Errorf("journal replay: %w", err)
+	}
+	rp.RecoverySeconds = time.Since(t0).Seconds()
+
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	var sx struct {
+		X []float64 `json:"x"`
+	}
+	if err := postServe(ts.URL+"/v1/solve",
+		map[string]any{"handle": handles[len(handles)-1], "b": b}, &sx); err != nil {
+		return nil, fmt.Errorf("post-replay solve: %w", err)
+	}
+	rp.BitIdentical = len(sx.X) == len(preX)
+	for j := range sx.X {
+		if sx.X[j] != preX[j] {
+			rp.BitIdentical = false
+			break
+		}
+	}
+	rp.Note = "durable acks include a WAL append + fsync before the response; " +
+		"recovery re-analyzes from journaled matrices and adopts journaled factor values, so replayed solves are bitwise identical"
+	return rp, nil
+}
+
+func durabilityRow(mode string, lat []time.Duration) DurabilityRow {
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	pct := func(p float64) float64 {
+		if len(sorted) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(sorted)-1))
+		return float64(sorted[i]) / float64(time.Millisecond)
+	}
+	var sum time.Duration
+	for _, d := range lat {
+		sum += d
+	}
+	mean := 0.0
+	if len(lat) > 0 {
+		mean = float64(sum) / float64(len(lat)) / float64(time.Millisecond)
+	}
+	return DurabilityRow{
+		Mode: mode, Factors: len(lat),
+		AckP50MS: pct(0.50), AckP99MS: pct(0.99), MeanMS: mean,
+	}
+}
+
+// scrapeDurabilityMetric reads one un-labelled sample from Prometheus text.
+func scrapeDurabilityMetric(url, name string) (float64, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			return strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		}
+	}
+	return 0, fmt.Errorf("metric %s not found", name)
+}
+
+// FormatDurabilityReport renders the report for the terminal.
+func FormatDurabilityReport(rp *DurabilityReport) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "grid=%d p=%d factors=%d\n", rp.Grid, rp.Procs, rp.Factors)
+	sb.WriteString("mode       factors  ack p50 (ms)  ack p99 (ms)  ack mean (ms)\n")
+	for _, r := range rp.Rows {
+		fmt.Fprintf(&sb, "%-10s %7d %13.3f %13.3f %14.3f\n",
+			r.Mode, r.Factors, r.AckP50MS, r.AckP99MS, r.MeanMS)
+	}
+	fmt.Fprintf(&sb, "WAL bytes: %.0f\n", rp.WALBytes)
+	fmt.Fprintf(&sb, "recovery: %.3fs for %d factors, bit-identical: %v\n",
+		rp.RecoverySeconds, rp.Factors, rp.BitIdentical)
+	return sb.String()
+}

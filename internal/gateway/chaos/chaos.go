@@ -6,8 +6,11 @@
 //
 // Nodes are real service.Servers behind in-process HTTP listeners. A kill is
 // a connection abort (the TCP-level death a client of a SIGKILLed process
-// sees), not a clean 5xx; a restart swaps in a fresh server with empty
-// stores, so the gateway must discover stale handles via 404 failover.
+// sees), not a clean 5xx. A restart swaps in a fresh server: without a data
+// dir its stores come back empty and the gateway must discover stale handles
+// via 404 failover; with one (Config.DataDir set, split per node by
+// NewCluster) the new process replays its journal and accepted handles
+// survive the kill.
 package chaos
 
 import (
@@ -16,6 +19,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -130,17 +135,20 @@ func (n *Node) Down() bool { return n.down.Load() }
 func (n *Node) Stall(d time.Duration) { n.stallNS.Store(int64(d)) }
 
 // Restart replaces the service with a fresh one at the same URL and clears
-// the kill. All prior state — factors, caches, idempotency records — is
-// gone, exactly like a process restart.
+// the kill — a new process instance. Without a data dir all prior state —
+// factors, caches, idempotency records — is gone; with one, the journal
+// replays it. The old service closes before the new one opens so the
+// journal file hands over cleanly, as between a dying and a starting
+// process sharing a disk.
 func (n *Node) Restart() error {
+	old := n.svc.Load().(*service.Server)
+	old.Close()
 	svc, err := service.New(n.cfg)
 	if err != nil {
 		return err
 	}
-	old := n.svc.Load().(*service.Server)
 	n.svc.Store(svc)
 	n.handler.Store(svc.Handler())
-	old.Close()
 	n.down.Store(false)
 	return nil
 }
@@ -169,16 +177,27 @@ type Cluster struct {
 	Nodes []*Node
 }
 
-// NewCluster starts n nodes, each its own service.Server.
+// NewCluster starts n nodes, each its own service.Server. When cfg.DataDir
+// is set, each node gets its own subdirectory of it — nodes are separate
+// processes with separate disks, and a restart must replay only that node's
+// journal.
 func NewCluster(n int, cfg service.Config) (*Cluster, error) {
 	c := &Cluster{}
 	for i := 0; i < n; i++ {
-		svc, err := service.New(cfg)
+		ncfg := cfg
+		if cfg.DataDir != "" {
+			ncfg.DataDir = filepath.Join(cfg.DataDir, fmt.Sprintf("node-%d", i))
+			if err := os.MkdirAll(ncfg.DataDir, 0o755); err != nil {
+				c.Close()
+				return nil, err
+			}
+		}
+		svc, err := service.New(ncfg)
 		if err != nil {
 			c.Close()
 			return nil, err
 		}
-		nd := &Node{idx: i, cfg: cfg}
+		nd := &Node{idx: i, cfg: ncfg}
 		nd.svc.Store(svc)
 		nd.handler.Store(svc.Handler())
 		nd.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

@@ -269,3 +269,221 @@ func TestChaosNodeKillSoak(t *testing.T) {
 		})
 	}
 }
+
+// The durable acceptance soak: 3 durable nodes (per-node data dirs), R=2, a
+// seeded mid-load kill followed by a restart that REPLAYS the journal
+// instead of coming back empty. Three guarantees, per seed:
+//
+//  1. Zero lost accepted handles: every solve issued through the window is
+//     accepted and bit-identical to the fault-free single-node run, and the
+//     handle still solves after the dust settles.
+//  2. Replication is restored to R=2 before the soak ends — by the durable
+//     replay, the anti-entropy repair, or both.
+//  3. The duplicate factorize with the original idempotency key does not
+//     double-apply anywhere: the restarted node's journaled idempotency
+//     record replays the original response.
+func TestChaosDurableNodeKillSoak(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if testing.Short() {
+		seeds = seeds[:3]
+	}
+
+	a := gen.Laplacian3D(5, 5, 5)
+	var sb strings.Builder
+	if err := pastix.WriteMatrixMarket(&sb, a, "durable chaos soak"); err != nil {
+		t.Fatal(err)
+	}
+	mm := sb.String()
+
+	an, err := pastix.Analyze(a, pastix.Options{Processors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fFree, err := an.FactorizeValues(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients, perClient = 4, 6
+	bs := make([][]float64, clients*perClient)
+	refs := make([][]float64, len(bs))
+	for i := range bs {
+		bs[i] = make([]float64, a.N)
+		for j := range bs[i] {
+			bs[i][j] = float64(1+(i*17+j*5)%11) - 5.0
+		}
+		if refs[i], err = an.SolveParallel(fFree, bs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			cfg := svcConfig()
+			cfg.DataDir = t.TempDir()
+			cl, err := NewCluster(3, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Close()
+			g, err := gateway.New(gateway.Config{
+				Backends:       cl.URLs(),
+				Replicas:       2,
+				ProbeInterval:  15 * time.Millisecond,
+				RepairInterval: 20 * time.Millisecond,
+				Retry:          client.Policy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond, Seed: seed},
+				Seed:           seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer g.Close()
+			gts := httptest.NewServer(g.Handler())
+			defer gts.Close()
+
+			idemKey := fmt.Sprintf("durable-soak-%d", seed)
+			st, fr, err := postJSON(gts.URL+"/v1/factorize",
+				map[string]any{"matrix_market": mm, "idempotency_key": idemKey})
+			if err != nil || st != http.StatusOK {
+				t.Fatalf("factorize: status %d err %v: %v", st, err, fr)
+			}
+			handle := jsonField[string](t, fr, "handle")
+			pb := jsonField[int](t, fr, "primary_backend")
+			if !jsonField[bool](t, fr, "durable") {
+				t.Fatal("factorize against a durable node did not ack durable")
+			}
+
+			// Kill the factorize primary mid-load on even seeds; the hashed
+			// victim otherwise.
+			plan := NewPlan(seed, 3, 1, 500*time.Millisecond, true)
+			if seed%2 == 0 {
+				victim := -1
+				for _, ev := range plan.Events {
+					if ev.Kind == Kill {
+						victim = ev.Node
+					}
+				}
+				for i := range plan.Events {
+					if plan.Events[i].Node == victim && plan.Events[i].Kind != StallEvent {
+						plan.Events[i].Node = pb
+					}
+				}
+			}
+
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			planDone := make(chan error, 1)
+			go func() {
+				_, err := cl.Apply(ctx, plan)
+				planDone <- err
+			}()
+
+			type result struct {
+				idx int
+				st  int
+				out map[string]json.RawMessage
+				err error
+			}
+			results := make(chan result, len(bs))
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					for k := 0; k < perClient; k++ {
+						i := c*perClient + k
+						st, out, err := postJSON(gts.URL+"/v1/solve",
+							map[string]any{"handle": handle, "b": bs[i]})
+						results <- result{i, st, out, err}
+						time.Sleep(time.Duration(50+10*c) * time.Millisecond / time.Duration(perClient))
+					}
+				}(c)
+			}
+			wg.Wait()
+			close(results)
+			if err := <-planDone; err != nil {
+				t.Fatalf("chaos plan failed: %v", err)
+			}
+
+			for res := range results {
+				if res.err != nil {
+					t.Fatalf("solve %d lost: %v", res.idx, res.err)
+				}
+				if res.st != http.StatusOK {
+					t.Fatalf("solve %d rejected with status %d: %v", res.idx, res.st, res.out)
+				}
+				x := jsonField[[]float64](t, res.out, "x")
+				want := refs[res.idx]
+				if len(x) != len(want) {
+					t.Fatalf("solve %d: %d values, want %d", res.idx, len(x), len(want))
+				}
+				for j := range x {
+					if x[j] != want[j] {
+						t.Fatalf("seed %d solve %d: x[%d] = %x, want %x — not bit-identical to the fault-free run",
+							seed, res.idx, j, x[j], want[j])
+					}
+				}
+			}
+
+			// Replication restored to R=2 before the soak ends: the restarted
+			// node replayed its journal and/or the repair loop re-replicated.
+			deadline := time.Now().Add(15 * time.Second)
+			for {
+				resp, err := http.Get(gts.URL + "/healthz")
+				if err != nil {
+					t.Fatal(err)
+				}
+				var hz struct {
+					MinReplication  int `json:"min_replication"`
+					UnderReplicated int `json:"under_replicated"`
+				}
+				err = json.NewDecoder(resp.Body).Decode(&hz)
+				resp.Body.Close()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if hz.MinReplication >= 2 && hz.UnderReplicated == 0 {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("seed %d: replication not restored to 2 (min %d, under-replicated %d)",
+						seed, hz.MinReplication, hz.UnderReplicated)
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+
+			// The handle still solves after kill, restart and repair.
+			st, out, err := postJSON(gts.URL+"/v1/solve", map[string]any{"handle": handle, "b": bs[0]})
+			if err != nil || st != http.StatusOK {
+				t.Fatalf("post-recovery solve: status %d err %v: %v", st, err, out)
+			}
+			x := jsonField[[]float64](t, out, "x")
+			for j := range x {
+				if x[j] != refs[0][j] {
+					t.Fatalf("post-recovery solve: x[%d] = %x, want %x", j, x[j], refs[0][j])
+				}
+			}
+
+			// Not double-applied, even through the durable restart.
+			st, _, err = postJSON(gts.URL+"/v1/factorize",
+				map[string]any{"matrix_market": mm, "idempotency_key": idemKey})
+			if err != nil || st != http.StatusOK {
+				t.Fatalf("duplicate factorize: status %d err %v", st, err)
+			}
+			total := 0
+			for i, n := range cl.Nodes {
+				lf, err := n.LiveFactors()
+				if err != nil {
+					t.Fatalf("node %d readyz: %v", i, err)
+				}
+				if lf > 1 {
+					t.Fatalf("node %d holds %d factors for one idempotency key — double-applied", i, lf)
+				}
+				total += lf
+			}
+			if total < 2 {
+				t.Fatalf("only %d live factors across the fleet after recovery, want >= 2", total)
+			}
+		})
+	}
+}

@@ -78,6 +78,11 @@ type Config struct {
 	QueueWait time.Duration
 	// RetryAfter is the hint sent with degraded 503s (default 1s).
 	RetryAfter time.Duration
+	// RepairInterval is the anti-entropy repair cadence (default 250ms):
+	// every interval the gateway checks each handle's replica set against the
+	// backend health model and re-replicates under-replicated factors onto
+	// surviving nodes. Negative disables the repair loop.
+	RepairInterval time.Duration
 	// MaxBodyBytes caps request bodies at the gateway (default 64 MiB).
 	MaxBodyBytes int64
 	// Seed feeds the ring placement and the retry jitter.
@@ -153,6 +158,9 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter == 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.RepairInterval == 0 {
+		c.RepairInterval = 250 * time.Millisecond
+	}
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = 64 << 20
 	}
@@ -171,6 +179,10 @@ type Stats struct {
 	Queued      int64 `json:"queued"`    // factorizes parked for a dead shard
 	Unavailable int64 `json:"unavailable"`
 	StaleRoutes int64 `json:"stale_routes"` // 404s from restarted nodes, failed over
+
+	Repairs         int64 `json:"repairs"`          // handles re-replicated by anti-entropy
+	ReplicasDropped int64 `json:"replicas_dropped"` // replica refs dropped as verifiably lost
+	Refactorizes    int64 `json:"refactorizes"`     // repairs that fell back to re-factorizing
 }
 
 // Gateway is the HTTP front door. Create with New, mount Handler, Close when
@@ -188,8 +200,14 @@ type Gateway struct {
 	start      time.Time
 	idemSeq    atomic.Uint64
 
-	requests, retries, failovers, hedges atomic.Int64
-	queued, unavailable, staleRoutes     atomic.Int64
+	// parkCh is the wakeup broadcast for factorizes parked in awaitShard:
+	// closed and replaced whenever a backend flips back to routable.
+	parkMu sync.Mutex
+	parkCh chan struct{}
+
+	requests, retries, failovers, hedges   atomic.Int64
+	queued, unavailable, staleRoutes       atomic.Int64
+	repairs, replicasDropped, refactorizes atomic.Int64
 }
 
 // New validates cfg, starts the active prober and returns a ready Gateway.
@@ -205,6 +223,7 @@ func New(cfg Config) (*Gateway, error) {
 		handles:    newHandleTable(),
 		queueSlots: make(chan struct{}, cfg.QueueDepth),
 		start:      time.Now(),
+		parkCh:     make(chan struct{}),
 	}
 	for i, u := range cfg.Backends {
 		g.backends = append(g.backends, &backendHealth{id: i, url: strings.TrimRight(u, "/")})
@@ -213,6 +232,10 @@ func New(cfg Config) (*Gateway, error) {
 	g.cancel = cancel
 	g.wg.Add(1)
 	go g.prober(ctx)
+	if cfg.RepairInterval > 0 {
+		g.wg.Add(1)
+		go g.repairLoop(ctx)
+	}
 	return g, nil
 }
 
@@ -229,6 +252,8 @@ func (g *Gateway) Stats() Stats {
 		Failovers: g.failovers.Load(), Hedges: g.hedges.Load(),
 		Queued: g.queued.Load(), Unavailable: g.unavailable.Load(),
 		StaleRoutes: g.staleRoutes.Load(),
+		Repairs:     g.repairs.Load(), ReplicasDropped: g.replicasDropped.Load(),
+		Refactorizes: g.refactorizes.Load(),
 	}
 }
 
@@ -241,6 +266,7 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/solve", g.handleSolve)
 	mux.HandleFunc("POST /v1/release", g.handleRelease)
 	mux.HandleFunc("GET /healthz", g.handleHealthz)
+	mux.HandleFunc("GET /metrics", g.handleMetrics)
 	return mux
 }
 
@@ -556,7 +582,7 @@ func (g *Gateway) handleFactorize(w http.ResponseWriter, r *http.Request) {
 		if err := json.Unmarshal(res.body, &fr); err != nil || fr.Handle == "" {
 			continue
 		}
-		reps = append(reps, replicaRef{Backend: b.id, Handle: fr.Handle})
+		reps = append(reps, replicaRef{Backend: b.id, Handle: fr.Handle, Inst: b.instanceNow()})
 		if primary == nil {
 			primary = res
 		}
@@ -566,7 +592,7 @@ func (g *Gateway) handleFactorize(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("factorize failed on all %d candidates for shard %s", len(cands), fp[:8]))
 		return
 	}
-	gh := g.handles.put(fp, reps)
+	gh := g.handles.put(fp, reps, body)
 
 	// The client sees the gateway handle plus the replication achieved; the
 	// rest of the primary's response (timings, solve plan, degraded-success
@@ -603,14 +629,17 @@ func (g *Gateway) awaitShard(ctx context.Context, w http.ResponseWriter, fp stri
 	g.queued.Add(1)
 	deadline := time.NewTimer(g.cfg.QueueWait)
 	defer deadline.Stop()
-	tick := time.NewTicker(25 * time.Millisecond)
-	defer tick.Stop()
 	for {
+		// Grab the wakeup signal BEFORE re-checking candidates: a backend
+		// recovering between the check and the wait closes this very channel,
+		// so the wakeup cannot be missed. The prober broadcasts on every
+		// unroutable→routable edge — no polling between edges.
+		wake := g.parkSignal()
+		if cands := g.candidates(fp); len(cands) > 0 {
+			return cands, true
+		}
 		select {
-		case <-tick.C:
-			if cands := g.candidates(fp); len(cands) > 0 {
-				return cands, true
-			}
+		case <-wake:
 		case <-deadline.C:
 			g.writeErr(w, http.StatusServiceUnavailable, "shard_unavailable",
 				fmt.Sprintf("no live backend for shard %s after waiting %v", fp[:8], g.cfg.QueueWait))
@@ -834,14 +863,35 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if routable == 0 {
 		status, code = "degraded", http.StatusServiceUnavailable
 	}
+	// Per-shard replication: the worst-case live replica count over all
+	// handles. MinReplication == cfg.Replicas means anti-entropy has nothing
+	// left to repair; with no handles there is trivially nothing at risk.
+	minRepl := g.cfg.Replicas
+	under := 0
+	for _, e := range g.handles.entries() {
+		live := 0
+		for _, rep := range e.replicas {
+			if sts[rep.Backend].Routable {
+				live++
+			}
+		}
+		if live < minRepl {
+			minRepl = live
+		}
+		if live < g.cfg.Replicas {
+			under++
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(struct {
-		Status        string          `json:"status"`
-		UptimeSeconds float64         `json:"uptime_seconds"`
-		Handles       int             `json:"handles"`
-		Replicas      int             `json:"replicas"`
-		Stats         Stats           `json:"stats"`
-		Backends      []BackendStatus `json:"backends"`
-	}{status, time.Since(g.start).Seconds(), g.handles.len(), g.cfg.Replicas, g.Stats(), sts})
+		Status          string          `json:"status"`
+		UptimeSeconds   float64         `json:"uptime_seconds"`
+		Handles         int             `json:"handles"`
+		Replicas        int             `json:"replicas"`
+		MinReplication  int             `json:"min_replication"`
+		UnderReplicated int             `json:"under_replicated"`
+		Stats           Stats           `json:"stats"`
+		Backends        []BackendStatus `json:"backends"`
+	}{status, time.Since(g.start).Seconds(), g.handles.len(), g.cfg.Replicas, minRepl, under, g.Stats(), sts})
 }

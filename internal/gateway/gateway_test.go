@@ -74,18 +74,21 @@ func startNode(t *testing.T, cfg service.Config) *node {
 	return n
 }
 
-// restart replaces the service with a fresh one at the same URL — the node
-// came back up with empty stores, so old handles are stale 404s.
+// restart replaces the service with a fresh one at the same URL — a new
+// process instance. Without a DataDir the stores come back empty and old
+// handles are stale 404s; with one, the journal replays them. The old
+// service closes before the new one opens so the journal file hands over
+// cleanly, exactly like a real process restart.
 func (n *node) restart() {
 	n.t.Helper()
+	old := n.svc.Load().(*service.Server)
+	old.Close()
 	svc, err := service.New(n.svcCfg)
 	if err != nil {
 		n.t.Fatal(err)
 	}
-	old := n.svc.Load().(*service.Server)
 	n.svc.Store(svc)
 	n.handler.Store(svc.Handler())
-	old.Close()
 	n.down.Store(false)
 }
 

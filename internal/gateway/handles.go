@@ -9,6 +9,14 @@ import (
 type replicaRef struct {
 	Backend int    // backend index
 	Handle  string // that backend's own factor handle
+	// Inst is the backend's process instance at replication time. The
+	// anti-entropy repair compares it against the backend's current instance:
+	// same instance means the handle is necessarily still there (a process
+	// never drops handles except by release), so no verification round trip
+	// is needed; a changed instance means the process restarted and the
+	// handle must be re-verified (durable nodes replay it, in-memory nodes
+	// lost it).
+	Inst string
 }
 
 // gwHandle maps one gateway-issued factor handle to the replica set that
@@ -17,6 +25,22 @@ type replicaRef struct {
 type gwHandle struct {
 	fingerprint string
 	replicas    []replicaRef
+	// body is the original factorize request body, idempotency key included.
+	// It is the repair loop's last resort: when no surviving replica can
+	// export the factor (NoFactorExport, or all exporters died), the gateway
+	// re-factorizes from it on a fresh backend — deterministic
+	// factorization makes the result bitwise-identical to the lost copy.
+	body []byte
+}
+
+// handleEntry is a consistent copy of one handle's state, safe to use
+// without the table lock (the repair loop iterates these while request
+// handlers mutate the table).
+type handleEntry struct {
+	handle      string
+	fingerprint string
+	replicas    []replicaRef
+	body        []byte
 }
 
 // handleTable issues and resolves gateway factor handles. A gateway handle
@@ -32,34 +56,75 @@ func newHandleTable() *handleTable {
 	return &handleTable{m: make(map[string]*gwHandle)}
 }
 
-func (t *handleTable) put(fingerprint string, replicas []replicaRef) string {
+func (t *handleTable) put(fingerprint string, replicas []replicaRef, body []byte) string {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.seq++
 	h := fmt.Sprintf("g-%06d-%.8s", t.seq, fingerprint)
-	t.m[h] = &gwHandle{fingerprint: fingerprint, replicas: replicas}
+	t.m[h] = &gwHandle{fingerprint: fingerprint, replicas: replicas, body: body}
 	return h
 }
 
-func (t *handleTable) get(handle string) (*gwHandle, bool) {
+// get returns a copy of the handle's state: the caller iterates replicas
+// outside the lock while the repair loop may rebind them.
+func (t *handleTable) get(handle string) (handleEntry, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	h, ok := t.m[handle]
-	return h, ok
+	if !ok {
+		return handleEntry{}, false
+	}
+	return handleEntry{
+		handle:      handle,
+		fingerprint: h.fingerprint,
+		replicas:    append([]replicaRef(nil), h.replicas...),
+		body:        h.body,
+	}, true
 }
 
-func (t *handleTable) del(handle string) (*gwHandle, bool) {
+func (t *handleTable) del(handle string) (handleEntry, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	h, ok := t.m[handle]
-	if ok {
-		delete(t.m, handle)
+	if !ok {
+		return handleEntry{}, false
 	}
-	return h, ok
+	delete(t.m, handle)
+	return handleEntry{handle: handle, fingerprint: h.fingerprint, replicas: h.replicas, body: h.body}, true
 }
 
 func (t *handleTable) len() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return len(t.m)
+}
+
+// entries snapshots the table for the repair loop.
+func (t *handleTable) entries() []handleEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]handleEntry, 0, len(t.m))
+	for handle, h := range t.m {
+		out = append(out, handleEntry{
+			handle:      handle,
+			fingerprint: h.fingerprint,
+			replicas:    append([]replicaRef(nil), h.replicas...),
+			body:        h.body,
+		})
+	}
+	return out
+}
+
+// rebind replaces a handle's replica set (anti-entropy repair outcome). The
+// handle may have been released while the repair ran; rebind then reports
+// false and the repair's work is discarded.
+func (t *handleTable) rebind(handle string, replicas []replicaRef) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h, ok := t.m[handle]
+	if !ok {
+		return false
+	}
+	h.replicas = replicas
+	return true
 }

@@ -51,9 +51,19 @@ type backendHealth struct {
 	trial       bool      // a half-open trial request is outstanding
 	probeOK     bool      // last active probe reached the node
 	draining    bool      // node reported draining on /readyz
+	recovering  bool      // node reported journal replay in progress on /readyz
+	instance    string    // node-reported process instance (restart detector)
 	queueDepth  int       // node-reported admission queue depth
 	lastErr     string
 	ewmaMS      float64 // request latency EWMA (alpha 0.3), observability only
+}
+
+// instanceNow returns the last probed process instance ("" before the first
+// successful probe).
+func (b *backendHealth) instanceNow() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.instance
 }
 
 // allow reports whether the breaker admits a request now. In half-open only
@@ -135,7 +145,7 @@ func (b *backendHealth) routable(now time.Time) bool {
 			return false
 		}
 	}
-	return b.probeOK && !b.draining
+	return b.probeOK && !b.draining && !b.recovering
 }
 
 // BackendStatus is the externally visible health snapshot of one backend
@@ -146,6 +156,8 @@ type BackendStatus struct {
 	Breaker    string  `json:"breaker"`
 	ProbeOK    bool    `json:"probe_ok"`
 	Draining   bool    `json:"draining"`
+	Recovering bool    `json:"recovering,omitempty"`
+	Instance   string  `json:"instance,omitempty"`
 	Routable   bool    `json:"routable"`
 	InFlight   int64   `json:"in_flight"`
 	QueueDepth int     `json:"queue_depth"`
@@ -160,6 +172,7 @@ func (b *backendHealth) status(now time.Time) BackendStatus {
 	return BackendStatus{
 		ID: b.id, URL: b.url,
 		Breaker: b.state.String(), ProbeOK: b.probeOK, Draining: b.draining,
+		Recovering: b.recovering, Instance: b.instance,
 		Routable: routable, InFlight: b.inflight.Load(), QueueDepth: b.queueDepth,
 		LatencyMS: b.ewmaMS, LastError: b.lastErr,
 	}
@@ -189,6 +202,23 @@ func (g *Gateway) probe(ctx context.Context, b *backendHealth) {
 		b.mu.Lock()
 		b.probeOK = true
 		b.draining = false
+		b.recovering = false
+		if st.Instance != "" {
+			b.instance = st.Instance
+		}
+		b.queueDepth = st.QueueDepth
+		b.mu.Unlock()
+		b.onSuccess(0)
+	case resp.StatusCode == http.StatusServiceUnavailable && decodeErr == nil && st.Recovering:
+		// The process is up but replaying its journal: alive, not routable.
+		// Not a fault — recovery ends on its own.
+		b.mu.Lock()
+		b.probeOK = true
+		b.draining = false
+		b.recovering = true
+		if st.Instance != "" {
+			b.instance = st.Instance
+		}
 		b.queueDepth = st.QueueDepth
 		b.mu.Unlock()
 		b.onSuccess(0)
@@ -196,6 +226,10 @@ func (g *Gateway) probe(ctx context.Context, b *backendHealth) {
 		b.mu.Lock()
 		b.probeOK = true
 		b.draining = true
+		b.recovering = false
+		if st.Instance != "" {
+			b.instance = st.Instance
+		}
 		b.queueDepth = st.QueueDepth
 		b.mu.Unlock()
 		b.onSuccess(0) // the process answered; draining is not a fault
@@ -207,22 +241,34 @@ func (g *Gateway) probe(ctx context.Context, b *backendHealth) {
 	}
 }
 
-// prober loops active probes over all backends until ctx ends.
+// prober loops active probes over all backends until ctx ends. After each
+// round it wakes requests parked in awaitShard if any backend flipped from
+// unroutable to routable — the only event that can unblock them.
 func (g *Gateway) prober(ctx context.Context) {
 	defer g.wg.Done()
 	tick := time.NewTicker(g.cfg.ProbeInterval)
 	defer tick.Stop()
-	for _, b := range g.backends {
-		g.probe(ctx, b)
+	probeRound := func() {
+		now := time.Now()
+		woke := false
+		for _, b := range g.backends {
+			before := b.routable(now)
+			g.probe(ctx, b)
+			if !before && b.routable(time.Now()) {
+				woke = true
+			}
+		}
+		if woke {
+			g.wakeParked()
+		}
 	}
+	probeRound()
 	for {
 		select {
 		case <-ctx.Done():
 			return
 		case <-tick.C:
-			for _, b := range g.backends {
-				g.probe(ctx, b)
-			}
+			probeRound()
 		}
 	}
 }

@@ -71,6 +71,28 @@ type Config struct {
 	// is still remembered, which is what makes gateway retries of a factorize
 	// that actually committed safe.
 	IdempotencyKeys int
+	// IdempotencyTTL bounds how long an idempotency key is remembered
+	// (default 1h). Expired keys behave exactly like evicted ones: a retry
+	// past the TTL runs a fresh factorization. Retries that matter (gateway
+	// retry-after-timeout) arrive within seconds, so the TTL exists to keep
+	// the store from pinning stale responses, not to serve old clients.
+	IdempotencyTTL time.Duration
+	// DataDir enables the durable factor store: factorize results (matrix
+	// values + factor payload + response), analyses and releases are
+	// journaled to a WAL under this directory before the handle is
+	// acknowledged, and startup replays the journal so handles survive a
+	// crash or restart. Empty (the default) keeps the server purely
+	// in-memory. While the startup replay runs, /readyz reports
+	// "recovering" and requests are refused with 503.
+	DataDir string
+	// SnapshotEvery compacts the WAL into a snapshot after this many
+	// records (default 256; only meaningful with DataDir).
+	SnapshotEvery int
+	// NoFactorExport refuses /v1/replicate export requests with 403. The
+	// gateway's anti-entropy repair then falls back to re-factorizing from
+	// the journaled matrix values on the destination node, which costs
+	// compute instead of bandwidth but yields the same bitwise factors.
+	NoFactorExport bool
 }
 
 // Validate checks the configuration, rejecting service-nonsensical
@@ -108,6 +130,12 @@ func (c Config) Validate() error {
 	if c.IdempotencyKeys < 0 {
 		return fmt.Errorf("%w: IdempotencyKeys %d is negative", ErrBadConfig, c.IdempotencyKeys)
 	}
+	if c.IdempotencyTTL < 0 {
+		return fmt.Errorf("%w: IdempotencyTTL %v is negative", ErrBadConfig, c.IdempotencyTTL)
+	}
+	if c.SnapshotEvery < 0 {
+		return fmt.Errorf("%w: SnapshotEvery %d is negative", ErrBadConfig, c.SnapshotEvery)
+	}
 	return nil
 }
 
@@ -142,6 +170,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.IdempotencyKeys == 0 {
 		c.IdempotencyKeys = 512
+	}
+	if c.IdempotencyTTL == 0 {
+		c.IdempotencyTTL = time.Hour
 	}
 	return c
 }

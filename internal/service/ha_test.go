@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/pastix-go/pastix"
 	"github.com/pastix-go/pastix/internal/gen"
@@ -164,7 +165,7 @@ func TestServerFactorizeIdempotent(t *testing.T) {
 
 // The idempotency store evicts FIFO beyond its bound.
 func TestIdemStoreEviction(t *testing.T) {
-	st := newIdemStore(2)
+	st := newIdemStore(2, time.Hour)
 	st.put("k1", "h1", factorizeResponse{Handle: "h1"})
 	st.put("k2", "h2", factorizeResponse{Handle: "h2"})
 	st.put("k3", "h3", factorizeResponse{Handle: "h3"})

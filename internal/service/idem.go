@@ -1,13 +1,23 @@
 package service
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // idemStore remembers the responses of the last max successful factorize
-// requests by client idempotency key, FIFO-evicted. A retry carrying a
-// remembered key replays the stored response instead of running a second
-// factorization — the property that makes a gateway's retry-after-timeout of
-// a factorize that actually committed safe (exactly-once handles over an
-// at-least-once transport, the same shape as mpsim's receiver dedup).
+// requests by client idempotency key, FIFO-evicted and TTL-expired. A retry
+// carrying a remembered key replays the stored response instead of running a
+// second factorization — the property that makes a gateway's
+// retry-after-timeout of a factorize that actually committed safe
+// (exactly-once handles over an at-least-once transport, the same shape as
+// mpsim's receiver dedup).
+//
+// The store is bounded two ways: max entries (FIFO eviction — the retries
+// that matter arrive promptly, so oldest-first is the right victim) and a
+// TTL, so a long-idle server does not pin responses forever. Expiry is lazy:
+// checked on get and swept from the FIFO head on put, which keeps both
+// operations O(1) amortized with no background goroutine.
 //
 // Replay is best-effort across concurrent duplicates: two simultaneous
 // first requests with one key may both factorize (no single-flight); the
@@ -16,46 +26,97 @@ import "sync"
 type idemStore struct {
 	mu       sync.Mutex
 	max      int
-	m        map[string]factorizeResponse
+	ttl      time.Duration
+	now      func() time.Time // injectable for tests
+	m        map[string]idemEntry
 	byHandle map[string]string // handle → key, for release-time invalidation
 	order    []string          // insertion order, oldest first
 }
 
-func newIdemStore(max int) *idemStore {
+type idemEntry struct {
+	resp    factorizeResponse
+	expires time.Time
+}
+
+func newIdemStore(max int, ttl time.Duration) *idemStore {
 	return &idemStore{
 		max:      max,
-		m:        make(map[string]factorizeResponse),
+		ttl:      ttl,
+		now:      time.Now,
+		m:        make(map[string]idemEntry),
 		byHandle: make(map[string]string),
 	}
 }
 
-// get returns the remembered response for key, if any.
+// get returns the remembered response for key, if any and not expired.
 func (s *idemStore) get(key string) (factorizeResponse, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	r, ok := s.m[key]
-	return r, ok
+	e, ok := s.m[key]
+	if !ok {
+		return factorizeResponse{}, false
+	}
+	if s.ttl > 0 && s.now().After(e.expires) {
+		s.dropKeyLocked(key, e)
+		return factorizeResponse{}, false
+	}
+	return e.resp, true
 }
 
-// put remembers resp under key, evicting the oldest entry beyond the bound.
+// put remembers resp under key, evicting expired entries and then the oldest
+// beyond the size bound.
 func (s *idemStore) put(key, handle string, resp factorizeResponse) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, exists := s.m[key]; !exists {
 		s.order = append(s.order, key)
 	}
-	s.m[key] = resp
+	var expires time.Time
+	if s.ttl > 0 {
+		expires = s.now().Add(s.ttl)
+	}
+	s.m[key] = idemEntry{resp: resp, expires: expires}
 	s.byHandle[handle] = key
-	for len(s.order) > s.max {
-		old := s.order[0]
-		s.order = s.order[1:]
-		if r, ok := s.m[old]; ok {
-			delete(s.m, old)
-			if s.byHandle[r.Handle] == old {
-				delete(s.byHandle, r.Handle)
+	// Sweep expired entries from the FIFO head: insertion order is also
+	// expiry order (constant TTL), so the scan stops at the first live one.
+	if s.ttl > 0 {
+		now := s.now()
+		for len(s.order) > 0 {
+			old := s.order[0]
+			e, ok := s.m[old]
+			if ok && !now.After(e.expires) {
+				break
+			}
+			s.order = s.order[1:]
+			if ok {
+				s.dropKeyLocked(old, e)
 			}
 		}
 	}
+	for len(s.order) > s.max {
+		old := s.order[0]
+		s.order = s.order[1:]
+		if e, ok := s.m[old]; ok {
+			s.dropKeyLocked(old, e)
+		}
+	}
+}
+
+// dropKeyLocked removes key and its handle index entry (not the FIFO order
+// slot; callers that pop from order handle that themselves, and get-path
+// expiry leaves a dead order slot that put's sweep collects).
+func (s *idemStore) dropKeyLocked(key string, e idemEntry) {
+	delete(s.m, key)
+	if s.byHandle[e.resp.Handle] == key {
+		delete(s.byHandle, e.resp.Handle)
+	}
+}
+
+// len reports the live (unexpired-at-last-touch) entry count.
+func (s *idemStore) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
 }
 
 // dropHandle forgets the entry that issued handle (called on release, so a

@@ -52,6 +52,10 @@ type Metrics struct {
 	PivotRetries       trace.Counter
 	DegradedSolves     trace.Counter
 	RefineIterations   trace.Counter
+
+	// Durability: factor transfers served and adopted via /v1/replicate.
+	ReplicateExports trace.Counter
+	ReplicateImports trace.Counter
 }
 
 // NewMetrics returns a Metrics with the default bucket ladders.
@@ -66,12 +70,24 @@ func NewMetrics() *Metrics {
 	}
 }
 
-// write emits the full exposition; cacheEntries, factorsLive, factorBytes and
-// compressionRatio are sampled by the caller at scrape time. factorBytes is
-// the resident factor-value storage across live handles; compressionRatio is
-// dense-equivalent bytes over resident bytes (1.0 when nothing resident is
-// BLR-compressed, and also when no factors are live).
-func (m *Metrics) write(w io.Writer, cacheEntries, factorsLive int, factorBytes int64, compressionRatio float64) error {
+// metricsSample carries the state gauges the caller samples at scrape time:
+// factorBytes is the resident factor-value storage across live handles;
+// compressionRatio is dense-equivalent bytes over resident bytes (1.0 when
+// nothing resident is BLR-compressed, and also when no factors are live);
+// walBytes and recoverySeconds are zero on a non-durable server.
+type metricsSample struct {
+	cacheEntries     int
+	factorsLive      int
+	factorBytes      int64
+	compressionRatio float64
+	walBytes         int64
+	recoverySeconds  float64
+}
+
+// write emits the full exposition with the scrape-time sample.
+func (m *Metrics) write(w io.Writer, s metricsSample) error {
+	cacheEntries, factorsLive, factorBytes, compressionRatio :=
+		s.cacheEntries, s.factorsLive, s.factorBytes, s.compressionRatio
 	counters := []struct {
 		name, help string
 		c          *trace.Counter
@@ -93,6 +109,8 @@ func (m *Metrics) write(w io.Writer, cacheEntries, factorsLive int, factorBytes 
 		{"pastix_pivot_retries_total", "epsilon-escalation retries performed by robust factorizations", &m.PivotRetries},
 		{"pastix_degraded_solves_total", "solves answered in degraded mode (perturbed factor + refinement)", &m.DegradedSolves},
 		{"pastix_refine_iterations_total", "iterative-refinement sweeps spent by degraded solves", &m.RefineIterations},
+		{"pastix_replicate_exports_total", "factor transfers exported via /v1/replicate", &m.ReplicateExports},
+		{"pastix_replicate_imports_total", "factor transfers imported via /v1/replicate", &m.ReplicateImports},
 	}
 	for _, c := range counters {
 		if err := trace.PromHeader(w, c.name, "counter", c.help); err != nil {
@@ -110,6 +128,7 @@ func (m *Metrics) write(w io.Writer, cacheEntries, factorsLive int, factorBytes 
 		{"pastix_cache_entries", "analyses resident in the cache", int64(cacheEntries)},
 		{"pastix_factors_live", "live factor handles", int64(factorsLive)},
 		{"pastix_factor_store_bytes", "resident factor-value bytes across live handles (compressed size for BLR factors)", factorBytes},
+		{"pastix_store_wal_bytes", "bytes in the durable store's write-ahead log (0 on a non-durable server)", s.walBytes},
 	}
 	for _, g := range gauges {
 		if err := trace.PromHeader(w, g.name, "gauge", g.help); err != nil {
@@ -124,6 +143,13 @@ func (m *Metrics) write(w io.Writer, cacheEntries, factorsLive int, factorBytes 
 		return err
 	}
 	if err := trace.PromFloat(w, "pastix_factor_store_compression_ratio", compressionRatio); err != nil {
+		return err
+	}
+	if err := trace.PromHeader(w, "pastix_store_recovery_seconds",
+		"gauge", "wall time of the startup journal replay (0 on a non-durable server or before replay finishes)"); err != nil {
+		return err
+	}
+	if err := trace.PromFloat(w, "pastix_store_recovery_seconds", s.recoverySeconds); err != nil {
 		return err
 	}
 	hists := []struct {

@@ -5,12 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strings"
 	"sync/atomic"
 	"time"
 
 	"github.com/pastix-go/pastix"
+	"github.com/pastix-go/pastix/internal/store"
 )
 
 // errShed reports a request rejected by admission control (HTTP 429).
@@ -38,6 +40,18 @@ type Server struct {
 	// while already-admitted requests (including parked batch riders) finish.
 	draining atomic.Bool
 
+	// Durability (Config.DataDir): the journal, the random per-process
+	// instance identity, and the startup-replay state machine. recovering is
+	// true from New until the replay goroutine finishes; recoveryErr holds
+	// the fail-stop cause if it failed; recoverySecs (float64 bits) is the
+	// replay wall time for /metrics.
+	journal      *store.Store
+	instance     string
+	recovering   atomic.Bool
+	recoveryErr  atomic.Pointer[string]
+	recoveryDone chan struct{}
+	recoverySecs uint64
+
 	baseCtx context.Context
 	cancel  context.CancelFunc
 	start   time.Time
@@ -52,27 +66,47 @@ func New(cfg Config) (*Server, error) {
 	m := NewMetrics()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:     cfg,
-		metrics: m,
-		store:   newFactorStore(cfg.MaxFactors),
-		idem:    newIdemStore(cfg.IdempotencyKeys),
-		queue:   make(chan struct{}, cfg.QueueDepth),
-		active:  make(chan struct{}, cfg.Workers),
-		baseCtx: ctx,
-		cancel:  cancel,
-		start:   time.Now(),
+		cfg:          cfg,
+		metrics:      m,
+		store:        newFactorStore(cfg.MaxFactors),
+		idem:         newIdemStore(cfg.IdempotencyKeys, cfg.IdempotencyTTL),
+		queue:        make(chan struct{}, cfg.QueueDepth),
+		active:       make(chan struct{}, cfg.Workers),
+		instance:     newInstanceID(),
+		recoveryDone: make(chan struct{}),
+		baseCtx:      ctx,
+		cancel:       cancel,
+		start:        time.Now(),
 	}
 	s.cache = newAnalysisCache(cfg.CacheSize, m, func(ctx context.Context, a *pastix.Matrix) (*pastix.Analysis, error) {
 		return pastix.AnalyzeContext(ctx, a, cfg.Solver)
 	})
+	// Byte-level journal corruption fails New synchronously; the record
+	// replay itself runs asynchronously behind the "recovering" gate so the
+	// listener can come up and report readiness honestly.
+	if err := s.openJournal(); err != nil {
+		cancel()
+		return nil, err
+	}
 	return s, nil
 }
 
 // Metrics exposes the server's metrics (for tests and embedding).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
-// Close releases the server: in-flight batched solves are cancelled.
-func (s *Server) Close() { s.cancel() }
+// Close releases the server: in-flight batched solves are cancelled and the
+// journal (when durable) is closed, releasing the data directory to a
+// successor process.
+func (s *Server) Close() {
+	s.cancel()
+	if s.journal != nil {
+		<-s.recoveryDone // never close the journal under the replay goroutine
+		s.journal.Close()
+	}
+}
+
+// Instance returns the random per-process identity (also on /readyz).
+func (s *Server) Instance() string { return s.instance }
 
 // BeginDrain puts the server into draining mode: new requests are refused
 // with 503 and /readyz flips to 503/"draining" (liveness /healthz stays 200),
@@ -119,6 +153,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/factorize", s.handleFactorize)
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	mux.HandleFunc("POST /v1/release", s.handleRelease)
+	mux.HandleFunc("POST /v1/replicate", s.handleReplicate)
+	mux.HandleFunc("POST /v1/stat", s.handleStat)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -159,6 +195,9 @@ func (s *Server) admit(ctx context.Context) (release func(), err error) {
 func (s *Server) admitQueue() (release func(), err error) {
 	if s.draining.Load() {
 		return nil, errDraining
+	}
+	if err := s.durabilityGate(); err != nil {
+		return nil, err
 	}
 	select {
 	case s.queue <- struct{}{}:
@@ -249,6 +288,14 @@ type factorizeResponse struct {
 	// Compression reports the BLR byte accounting when the handle's factor is
 	// compressed (request "blr" block, or server-level Options.BLR).
 	Compression *pastix.CompressionStats `json:"compression,omitempty"`
+	// Durable marks a handle journaled to the durable store before this
+	// acknowledgement: it survives a crash or restart of the node. Only set
+	// on servers running with Config.DataDir.
+	Durable bool `json:"durable,omitempty"`
+	// Imported marks a handle created by a /v1/replicate transfer rather
+	// than a local factorization: the factor values were adopted verbatim
+	// from the exporting node.
+	Imported bool `json:"imported,omitempty"`
 }
 
 type solveRequest struct {
@@ -340,6 +387,13 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	if !hit {
 		s.metrics.AnalyzeSeconds.Observe(time.Since(t0).Seconds())
+		if s.journal != nil {
+			// Journal the generator, not the product: the matrix bytes are
+			// enough, because analysis is a pure function of (pattern,
+			// Options) and replay recomputes it bitwise. Append failures are
+			// non-fatal — an analysis is a cache warm, not client state.
+			_, _ = s.journal.AppendAnalysis(&store.AnalysisRecord{Fingerprint: fp, Matrix: a})
+		}
 	}
 	st := an.Stats()
 	s.writeJSON(w, http.StatusOK, analyzeResponse{
@@ -368,6 +422,10 @@ func (s *Server) handleFactorize(w http.ResponseWriter, r *http.Request) {
 	if req.IdempotencyKey != "" {
 		if s.draining.Load() {
 			s.writeErr(w, errDraining)
+			return
+		}
+		if err := s.durabilityGate(); err != nil {
+			s.writeErr(w, err)
 			return
 		}
 		if resp, ok := s.idem.get(req.IdempotencyKey); ok {
@@ -442,7 +500,7 @@ func (s *Server) handleFactorize(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, err)
 		return
 	}
-	e := &factorEntry{fingerprint: fp, n: a.N, an: an, f: f}
+	e := &factorEntry{fingerprint: fp, n: a.N, an: an, f: f, src: a, idemKey: req.IdempotencyKey}
 	e.batch = newBatcher(s.cfg.BatchWindow, s.cfg.MaxBatch, func(reqs []*solveReq) { s.runBatch(e, reqs) })
 	handle, err := s.store.Put(e)
 	if err != nil {
@@ -468,6 +526,23 @@ func (s *Server) handleFactorize(w http.ResponseWriter, r *http.Request) {
 		resp.RefineIters = robust.RefineIterations
 	}
 	resp.Compression = f.CompressionStats()
+	if s.journal != nil {
+		// Persist before acknowledging: the journal append (fsync'd WAL
+		// write) must commit before the client — or a gateway counting this
+		// node as a replica — learns the handle. A failed append un-puts the
+		// handle and fails the request; "durable": true is never a lie.
+		resp.Durable = true
+		respJSON, merr := json.Marshal(resp)
+		if merr == nil {
+			merr = s.journalFactor(handle, fp, req.IdempotencyKey, a, f, respJSON)
+		}
+		if merr != nil {
+			_ = s.store.Release(handle)
+			s.writeErr(w, fmt.Errorf("journaling factor: %w", merr))
+			return
+		}
+		e.durable = true
+	}
 	if req.IdempotencyKey != "" {
 		s.idem.put(req.IdempotencyKey, handle, resp)
 	}
@@ -678,13 +753,24 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeJSON(w, r, &req) {
 		return
 	}
+	if err := s.durabilityGate(); err != nil {
+		s.writeErr(w, err)
+		return
+	}
 	if err := s.store.Release(req.Handle); err != nil {
 		s.writeErr(w, err)
 		return
 	}
 	// A released handle must not come back from the idempotency store: drop
-	// any remembered factorize response that issued it.
+	// any remembered factorize response that issued it. Durable stores also
+	// journal the tombstone so replay does not resurrect the handle.
 	s.idem.dropHandle(req.Handle)
+	if s.journal != nil {
+		if err := s.journal.AppendRelease(req.Handle); err != nil {
+			s.writeErr(w, fmt.Errorf("journaling release: %w", err))
+			return
+		}
+	}
 	s.writeJSON(w, http.StatusOK, struct {
 		Released string `json:"released"`
 	}{req.Handle})
@@ -703,10 +789,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // ReadyState is the /readyz body: the routing-relevant view of one node.
 // The gateway's health model consumes it as its active probe signal.
 type ReadyState struct {
-	// Status is "ok" or "draining"; draining also flips the HTTP status to
-	// 503 so plain load balancers stop routing here.
+	// Status is "ok", "draining", "recovering" or "recovery_failed"; all but
+	// "ok" also flip the HTTP status to 503 so plain load balancers stop
+	// routing here. "recovering" is transient (startup journal replay);
+	// "recovery_failed" is terminal (the node fail-stopped rather than serve
+	// from a store it knows is incomplete).
 	Status        string  `json:"status"`
 	Draining      bool    `json:"draining"`
+	Recovering    bool    `json:"recovering,omitempty"`
 	QueueDepth    int     `json:"queue_depth"`    // admitted requests (queued or executing)
 	QueueCapacity int     `json:"queue_capacity"` // admission bound (QueueDepth config)
 	InFlight      int     `json:"in_flight"`      // requests holding worker slots
@@ -714,6 +804,12 @@ type ReadyState struct {
 	CachedAnal    int     `json:"cached_analyses"`
 	LiveFactors   int     `json:"live_factors"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Instance is the random per-process identity: a prober seeing the same
+	// address with a new instance knows the process restarted (and with it,
+	// whether non-durable state is gone).
+	Instance string `json:"instance,omitempty"`
+	// Durable reports whether this node journals factorizations (DataDir).
+	Durable bool `json:"durable,omitempty"`
 }
 
 // handleReadyz is readiness: whether a router should send this node traffic,
@@ -723,6 +819,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	st := ReadyState{
 		Status:        "ok",
 		Draining:      s.draining.Load(),
+		Recovering:    s.recovering.Load(),
 		QueueDepth:    len(s.queue),
 		QueueCapacity: cap(s.queue),
 		InFlight:      len(s.active),
@@ -730,10 +827,19 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		CachedAnal:    s.cache.Len(),
 		LiveFactors:   s.store.Len(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
+		Instance:      s.instance,
+		Durable:       s.journal != nil,
 	}
 	code := http.StatusOK
-	if st.Draining {
+	switch {
+	case st.Draining:
 		st.Status = "draining"
+		code = http.StatusServiceUnavailable
+	case st.Recovering:
+		st.Status = "recovering"
+		code = http.StatusServiceUnavailable
+	case s.recoveryErr.Load() != nil:
+		st.Status = "recovery_failed"
 		code = http.StatusServiceUnavailable
 	}
 	s.writeJSON(w, code, st)
@@ -746,7 +852,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if resident > 0 {
 		ratio = float64(dense) / float64(resident)
 	}
-	_ = s.metrics.write(w, s.cache.Len(), live, resident, ratio)
+	sample := metricsSample{
+		cacheEntries:     s.cache.Len(),
+		factorsLive:      live,
+		factorBytes:      resident,
+		compressionRatio: ratio,
+		recoverySeconds:  math.Float64frombits(atomic.LoadUint64(&s.recoverySecs)),
+	}
+	if s.journal != nil {
+		sample.walBytes = s.journal.Stats().WALBytes
+	}
+	_ = s.metrics.write(w, sample)
 }
 
 // --- encoding helpers ---
@@ -806,6 +922,12 @@ func (s *Server) writeErr(w http.ResponseWriter, err error) {
 		status = http.StatusTooManyRequests
 	case errors.Is(err, errDraining):
 		status = http.StatusServiceUnavailable
+	case errors.Is(err, errRecovering):
+		status = http.StatusServiceUnavailable
+		resp.Code = "recovering"
+	case errors.Is(err, errRecoveryFailed):
+		status = http.StatusServiceUnavailable
+		resp.Code = "recovery_failed"
 	case errors.Is(err, ErrStoreFull):
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, ErrUnknownHandle):

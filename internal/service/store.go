@@ -32,6 +32,19 @@ type factorEntry struct {
 	// frozen at Put, when the factor's storage form is final.
 	bytes      int64
 	denseBytes int64
+	// src is the matrix the factor was computed from. It is what makes the
+	// handle transferable: /v1/replicate ships (matrix, payload) so the
+	// receiver can rebuild the analysis and bind refinement to the same
+	// values, and the re-factorize fallback recomputes from it bitwise.
+	src *pastix.Matrix
+	// idemKey is the idempotency key the factorize committed under ("" if
+	// none). It travels with a /v1/replicate export so the receiving node can
+	// replay a retried factorize carrying the original key instead of
+	// double-applying it.
+	idemKey string
+	// durable marks a handle whose factorize was journaled (or replayed from
+	// the journal) — it survives a restart of this node.
+	durable bool
 }
 
 // factorStore issues and resolves factor handles. Handles are opaque
@@ -65,6 +78,37 @@ func (s *factorStore) Put(e *factorEntry) (string, error) {
 	}
 	s.m[e.handle] = e
 	return e.handle, nil
+}
+
+// PutRestored registers a replayed factorization under the handle it was
+// originally issued, advancing the sequence counter past it so fresh handles
+// never collide with recovered ones. Recovery is exempt from the MaxFactors
+// bound: every recovered handle was acknowledged durable in a past life, and
+// refusing to recover it would silently lose accepted work just because the
+// bound was lowered between runs.
+func (s *factorStore) PutRestored(e *factorEntry, handle string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.m[handle]; exists {
+		return fmt.Errorf("service: restored handle %q already live", handle)
+	}
+	var seq uint64
+	if _, err := fmt.Sscanf(handle, "f-%06d-", &seq); err != nil {
+		return fmt.Errorf("service: restored handle %q is malformed: %w", handle, err)
+	}
+	if seq > s.seq {
+		s.seq = seq
+	}
+	e.handle = handle
+	if e.f != nil {
+		e.bytes = e.f.MemoryBytes()
+		e.denseBytes = e.bytes
+		if st := e.f.CompressionStats(); st != nil {
+			e.denseBytes = st.DenseBytes
+		}
+	}
+	s.m[handle] = e
+	return nil
 }
 
 // Get resolves a handle.

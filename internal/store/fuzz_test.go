@@ -1,0 +1,101 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzStoreRecover feeds arbitrary bytes to the recovery path as a WAL file.
+// The invariant under fuzz: Open never panics and never returns a partially
+// applied store — either the bytes replay to a clean store (possibly with a
+// torn tail dropped) or recovery fails with the typed ErrCorruptLog.
+func FuzzStoreRecover(f *testing.F) {
+	// Seed the corpus with a valid WAL so the fuzzer mutates real frames.
+	{
+		dir := f.TempDir()
+		s, _, err := Open(dir, Options{})
+		if err != nil {
+			f.Fatal(err)
+		}
+		if err := s.AppendFactor(factorRecord("f-000001-fuzz", "k", densePayload())); err != nil {
+			f.Fatal(err)
+		}
+		if err := s.AppendFactor(factorRecord("f-000002-fuzz", "", lrPayload())); err != nil {
+			f.Fatal(err)
+		}
+		if err := s.AppendRelease("f-000001-fuzz"); err != nil {
+			f.Fatal(err)
+		}
+		s.Close()
+		b, err := os.ReadFile(filepath.Join(dir, walName))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+		f.Add(b[:len(b)/2])
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x57, 0x53, 0x58, 0x50}) // frame magic, nothing else
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, walName), data, 0o644); err != nil {
+			t.Skip()
+		}
+		s, rec, err := Open(dir, Options{NoSync: true})
+		if err != nil {
+			if !errors.Is(err, ErrCorruptLog) {
+				t.Fatalf("recovery error is not ErrCorruptLog: %v", err)
+			}
+			return
+		}
+		// A clean open must yield a usable store: appends land after the
+		// replayed prefix and survive a reopen.
+		_ = rec
+		if err := s.AppendFactor(factorRecord("f-999999-post", "", densePayload())); err != nil {
+			t.Fatalf("post-recovery append: %v", err)
+		}
+		s.Close()
+		if _, _, err := Open(dir, Options{NoSync: true}); err != nil {
+			t.Fatalf("reopen after recovery+append: %v", err)
+		}
+	})
+}
+
+// FuzzStoreRecoverSnapshot does the same with the bytes as a snapshot file.
+func FuzzStoreRecoverSnapshot(f *testing.F) {
+	{
+		dir := f.TempDir()
+		s, _, err := Open(dir, Options{SnapshotEvery: 1})
+		if err != nil {
+			f.Fatal(err)
+		}
+		if err := s.AppendFactor(factorRecord("f-000001-fuzz", "", densePayload())); err != nil {
+			f.Fatal(err)
+		}
+		s.Close()
+		b, err := os.ReadFile(filepath.Join(dir, snapName))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, snapName), data, 0o644); err != nil {
+			t.Skip()
+		}
+		s, _, err := Open(dir, Options{NoSync: true})
+		if err != nil {
+			if !errors.Is(err, ErrCorruptLog) {
+				t.Fatalf("recovery error is not ErrCorruptLog: %v", err)
+			}
+			return
+		}
+		s.Close()
+	})
+}
